@@ -1,0 +1,113 @@
+// Ablation for the section 7.6 claims: the redesigned bndry_exchangev
+// (a) overlaps computation with communication, cutting dycore time by up
+// to 23% in large runs, and (b) removes the pack-buffer staging copies,
+// another ~30%. Functional copy counters come from the real distributed
+// implementation; machine-scale time deltas from the analytic model.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <mutex>
+
+#include "homme/bndry.hpp"
+#include "perf/machine_model.hpp"
+
+namespace {
+
+void print_copy_ablation() {
+  auto m = mesh::CubedSphere::build(4, mesh::kEarthRadius);
+  auto part = mesh::Partition::build(m, 6);
+  auto plan = mesh::CommPlan::build(m, part);
+  const int nlev = 16;
+
+  std::printf("\n=== Ablation (section 7.6b): pack-buffer copies in "
+              "bndry_exchangev, 6 ranks, ne4, 16 levels ===\n");
+  std::size_t copies[2] = {0, 0}, msgs[2] = {0, 0};
+  net::Cluster cluster(6);
+  std::mutex mu;
+  int mode_idx = 0;
+  for (auto mode : {homme::BndryExchange::Mode::kOriginal,
+                    homme::BndryExchange::Mode::kOverlap}) {
+    cluster.run([&](net::Rank& r) {
+      homme::BndryExchange bx(m, part, plan, r.rank());
+      std::vector<std::vector<double>> local(
+          static_cast<std::size_t>(bx.nlocal()));
+      std::vector<double*> ptrs(static_cast<std::size_t>(bx.nlocal()));
+      for (int le = 0; le < bx.nlocal(); ++le) {
+        local[static_cast<std::size_t>(le)].assign(
+            static_cast<std::size_t>(nlev) * mesh::kNpp,
+            1.0 + le + r.rank());
+        ptrs[static_cast<std::size_t>(le)] =
+            local[static_cast<std::size_t>(le)].data();
+      }
+      bx.dss_levels(r, ptrs, nlev, mode);
+      std::lock_guard<std::mutex> lock(mu);
+      copies[mode_idx] += bx.last_copy_bytes();
+      msgs[mode_idx] += bx.last_msg_bytes();
+    });
+    ++mode_idx;
+  }
+  std::printf("original (pack-buffer): %8.1f KB staged copies, %8.1f KB MPI\n",
+              copies[0] / 1e3, msgs[0] / 1e3);
+  std::printf("redesign (direct):      %8.1f KB staged copies, %8.1f KB MPI\n",
+              copies[1] / 1e3, msgs[1] / 1e3);
+  std::printf("copy reduction: %.0f%% (paper: removing the redundant copies "
+              "cut dycore time ~30%%)\n",
+              100.0 * (1.0 - static_cast<double>(copies[1]) /
+                                 static_cast<double>(copies[0])));
+}
+
+void print_overlap_ablation() {
+  const auto m = perf::MachineModel::calibrate(128, 25, 32);
+  std::printf("\n=== Ablation (section 7.6a): computation/communication "
+              "overlap at machine scale ===\n");
+  std::printf("%-8s %10s %16s %16s %10s\n", "case", "procs", "no-overlap s",
+              "overlap s", "saved");
+  for (auto [ne, p] : {std::pair{256, 32768LL}, std::pair{1024, 32768LL},
+                       std::pair{1024, 131072LL}}) {
+    const auto off = m.dycore_step(ne, p, perf::Version::kAthread, false);
+    const auto on = m.dycore_step(ne, p, perf::Version::kAthread, true);
+    std::printf("ne%-6d %10lld %16.5f %16.5f %9.1f%%\n", ne, p, off.total_s,
+                on.total_s, 100.0 * (off.total_s - on.total_s) / off.total_s);
+  }
+  std::printf("paper: overlapping all three Euler-step halo exchanges cut "
+              "HOMME runtime by 23%% in the best cases\n\n");
+}
+
+/// Wall time of one functional distributed DSS (6 ranks, both modes).
+void BM_DssExchange(benchmark::State& state) {
+  auto m = mesh::CubedSphere::build(3, mesh::kEarthRadius);
+  auto part = mesh::Partition::build(m, 4);
+  auto plan = mesh::CommPlan::build(m, part);
+  const auto mode = state.range(0) == 0
+                        ? homme::BndryExchange::Mode::kOriginal
+                        : homme::BndryExchange::Mode::kOverlap;
+  const int nlev = 8;
+  net::Cluster cluster(4);
+  for (auto _ : state) {
+    cluster.run([&](net::Rank& r) {
+      homme::BndryExchange bx(m, part, plan, r.rank());
+      std::vector<std::vector<double>> local(
+          static_cast<std::size_t>(bx.nlocal()));
+      std::vector<double*> ptrs(static_cast<std::size_t>(bx.nlocal()));
+      for (int le = 0; le < bx.nlocal(); ++le) {
+        local[static_cast<std::size_t>(le)].assign(
+            static_cast<std::size_t>(nlev) * mesh::kNpp, 1.0);
+        ptrs[static_cast<std::size_t>(le)] =
+            local[static_cast<std::size_t>(le)].data();
+      }
+      bx.dss_levels(r, ptrs, nlev, mode);
+    });
+  }
+}
+BENCHMARK(BM_DssExchange)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_copy_ablation();
+  print_overlap_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

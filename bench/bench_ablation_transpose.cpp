@@ -1,0 +1,107 @@
+// Ablation for section 7.5: the shuffle + register-communication array
+// transposition. Compares three ways to switch the array axis of an
+// element block on the simulated CPE cluster:
+//   (1) strided per-column DMA gathers (one 8-byte block per level),
+//   (2) contiguous DMA + in-LDM shuffle transpose,
+//   (3) the distributed inter-CPE register-communication block transpose.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "sw/core_group.hpp"
+#include "sw/transpose.hpp"
+
+namespace {
+
+constexpr int kLev = 128;
+constexpr int kNpp = 16;  // GLL points per element level
+
+double strided_gather_seconds(sw::CoreGroup& cg, std::vector<double>& mem) {
+  auto stats = cg.run([&](sw::Cpe& cpe) -> sw::Task {
+    sw::LdmFrame frame(cpe.ldm());
+    auto col = cpe.ldm().alloc<double>(kLev);
+    for (int k = 0; k < kNpp; ++k) {
+      cpe.dma_wait(cpe.dma_get_strided(
+          col.data(), mem.data() + k, sizeof(double), kLev,
+          kNpp * sizeof(double)));
+      benchmark::DoNotOptimize(col[0]);
+    }
+    co_return;
+  });
+  return stats.seconds;
+}
+
+double shuffle_transpose_seconds(sw::CoreGroup& cg,
+                                 std::vector<double>& mem) {
+  auto stats = cg.run([&](sw::Cpe& cpe) -> sw::Task {
+    sw::LdmFrame frame(cpe.ldm());
+    auto raw = cpe.ldm().alloc<double>(kLev * kNpp);
+    auto out = cpe.ldm().alloc<double>(kLev * kNpp);
+    cpe.dma_wait(
+        cpe.dma_get(raw.data(), mem.data(), raw.size() * sizeof(double)));
+    sw::ldm_transpose(cpe, raw.data(), out.data(), kLev, kNpp);
+    benchmark::DoNotOptimize(out[0]);
+    co_return;
+  });
+  return stats.seconds;
+}
+
+double cpe_block_transpose_seconds(sw::CoreGroup& cg) {
+  auto stats = cg.run([&](sw::Cpe& cpe) -> sw::Task {
+    sw::LdmFrame frame(cpe.ldm());
+    auto blocks = cpe.ldm().alloc<double>(8 * 16);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      blocks[i] = static_cast<double>(cpe.id()) + static_cast<double>(i);
+    }
+    co_await sw::cpe_block_transpose(cpe, blocks, 8);
+    benchmark::DoNotOptimize(blocks[0]);
+  });
+  return stats.seconds;
+}
+
+void print_ablation() {
+  sw::CoreGroup cg;
+  std::vector<double> mem(kLev * kNpp, 1.0);
+  const double strided = strided_gather_seconds(cg, mem);
+  const double shuffled = shuffle_transpose_seconds(cg, mem);
+  const double distributed = cpe_block_transpose_seconds(cg);
+  std::printf("\n=== Ablation (section 7.5): axis switch of a [128][16] "
+              "element block ===\n");
+  std::printf("strided per-column DMA gathers:     %10.2f us (modeled)\n",
+              strided * 1e6);
+  std::printf("contiguous DMA + shuffle transpose: %10.2f us (modeled)\n",
+              shuffled * 1e6);
+  std::printf("  -> %.1fx faster\n", strided / shuffled);
+  std::printf("inter-CPE register block transpose (64 CPEs, 8 tiles each): "
+              "%.2f us\n\n",
+              distributed * 1e6);
+}
+
+void BM_ShuffleTranspose(benchmark::State& state) {
+  sw::CoreGroup cg;
+  std::vector<double> mem(kLev * kNpp, 1.0);
+  for (auto _ : state) {
+    state.SetIterationTime(shuffle_transpose_seconds(cg, mem));
+  }
+}
+BENCHMARK(BM_ShuffleTranspose)->UseManualTime()->Iterations(3);
+
+void BM_StridedGather(benchmark::State& state) {
+  sw::CoreGroup cg;
+  std::vector<double> mem(kLev * kNpp, 1.0);
+  for (auto _ : state) {
+    state.SetIterationTime(strided_gather_seconds(cg, mem));
+  }
+}
+BENCHMARK(BM_StridedGather)->UseManualTime()->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 4: the climatological surface-temperature
+// validation. Control run vs test run (perturbed at the measured
+// cross-platform floating-point reassociation magnitude): the two
+// climatologies must be statistically identical.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "validation/climatology.hpp"
+
+namespace {
+
+void print_figure() {
+  validation::ClimatologyConfig cfg;
+  cfg.ne = 4;
+  cfg.nlev = 8;
+  cfg.steps = 80;
+  cfg.spinup = 20;
+  const auto stats = validation::climatology_compare(cfg);
+  std::printf("\n=== Figure 4: climatological surface temperature, control "
+              "(reference order) vs test (Sunway-port order) ===\n");
+  std::printf("mean surface T  control: %9.4f K   test: %9.4f K\n",
+              stats.mean_control, stats.mean_test);
+  std::printf("RMSE:                %.3e K\n", stats.rmse);
+  std::printf("max |diff|:          %.3e K\n", stats.max_abs_diff);
+  std::printf("pattern correlation: %.6f\n", stats.pattern_correlation);
+  std::printf("paper: \"almost identical patterns\" on the two "
+              "architectures\n\n");
+}
+
+void BM_ClimatologyRun(benchmark::State& state) {
+  validation::ClimatologyConfig cfg;
+  cfg.ne = 2;
+  cfg.nlev = 6;
+  cfg.steps = 20;
+  cfg.spinup = 5;
+  for (auto _ : state) {
+    auto stats = validation::climatology_compare(cfg);
+    benchmark::DoNotOptimize(stats.rmse);
+  }
+}
+BENCHMARK(BM_ClimatologyRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

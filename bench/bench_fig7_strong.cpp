@@ -1,0 +1,63 @@
+// Reproduces Figure 7: strong scalability of the redesigned HOMME for
+// ne256 (393,216 elements) and ne1024 (6,291,456 elements) from 4,096 /
+// 8,192 processes up to 131,072 (266,240 to 8,519,680 cores).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "perf/machine_model.hpp"
+
+namespace {
+
+const perf::MachineModel& model() {
+  static const auto m = perf::MachineModel::calibrate(128, 25, 32);
+  return m;
+}
+
+void print_figure() {
+  const auto& m = model();
+  std::printf("\n=== Figure 7: HOMME strong scaling (athread redesign) ===\n");
+  std::printf("%-8s %10s %12s %14s %12s\n", "case", "procs", "PFlops",
+              "ideal-PFlops", "par.eff");
+  for (auto [ne, base] : {std::pair{256, 4096LL}, std::pair{1024, 8192LL}}) {
+    const auto s0 = m.dycore_step(ne, base, perf::Version::kAthread);
+    for (long long p = base; p <= 131072; p *= 2) {
+      const auto s = m.dycore_step(ne, p, perf::Version::kAthread);
+      const double ideal = s0.pflops * static_cast<double>(p) /
+                           static_cast<double>(base);
+      std::printf("ne%-6d %10lld %12.3f %14.3f %11.1f%%\n", ne, p, s.pflops,
+                  ideal,
+                  100.0 * m.parallel_efficiency(ne, base, p,
+                                                perf::Version::kAthread));
+    }
+  }
+  std::printf(
+      "paper: ne256 0.07 -> 0.64 PFlops (21.7%% eff at 131072); ne1024 0.18 "
+      "-> 1.76 PFlops (51%% eff)\n\n");
+}
+
+void register_benchmarks() {
+  const auto& m = model();
+  for (auto [ne, p] : {std::pair{256, 131072LL}, std::pair{1024, 131072LL}}) {
+    const auto s = m.dycore_step(ne, p, perf::Version::kAthread);
+    auto* b = benchmark::RegisterBenchmark(
+        ("strong/ne" + std::to_string(ne) + "/procs:" + std::to_string(p))
+            .c_str(),
+        [s](benchmark::State& state) {
+          for (auto _ : state) state.SetIterationTime(s.total_s);
+          state.counters["PFlops"] = s.pflops;
+        });
+    b->UseManualTime()->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Table 1 and Figure 5 of the paper: the six key dynamics
+// kernels on Intel core / MPE / OpenACC(64 CPE) / Athread(64 CPE).
+//
+// google-benchmark timings use manual time set to the *modeled* seconds
+// from the SW26010 simulator (functional execution + timing model); the
+// printed table compares our ratios against the paper's.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "accel/table1.hpp"
+
+namespace {
+
+const std::vector<accel::Table1Row>& rows() {
+  static const auto r = [] {
+    accel::Table1Config cfg;  // 64 elements, 128 levels, 25 tracers
+    return accel::run_table1(cfg);
+  }();
+  return r;
+}
+
+void print_table() {
+  std::printf(
+      "\n=== Table 1: key kernels, seconds per invocation (64 elements / "
+      "process, 128 levels, 25 tracers) ===\n");
+  std::printf("%-24s %11s %11s %11s %11s\n", "kernel", "intel", "mpe",
+              "openacc", "athread");
+  for (const auto& r : rows()) {
+    std::printf("%-24s %11.5f %11.5f %11.5f %11.5f\n", r.name.c_str(),
+                r.intel_s, r.mpe_s, r.acc_s, r.athread_s);
+  }
+  std::printf(
+      "\n=== Figure 5: speedups (paper ratios in brackets; Intel core = 1) "
+      "===\n");
+  std::printf("%-24s %16s %16s %18s\n", "kernel", "acc/intel",
+              "athread/intel", "athread/acc");
+  for (const auto& r : rows()) {
+    std::printf("%-24s %8.2f [%5.2f] %8.1f [7-46x] %10.1f\n", r.name.c_str(),
+                r.acc_s / r.intel_s, r.paper_acc / r.paper_intel,
+                r.intel_s / r.athread_s, r.athread_speedup_vs_acc());
+  }
+  std::printf(
+      "\nShape checks: MPE slowest serial platform; OpenACC rhs slower than "
+      "Intel (paper 5.9x, see above); Athread fastest everywhere.\n\n");
+}
+
+void register_benchmarks() {
+  for (const auto& r : rows()) {
+    for (auto [plat, secs] :
+         {std::pair{"intel", r.intel_s}, std::pair{"mpe", r.mpe_s},
+          std::pair{"openacc", r.acc_s}, std::pair{"athread", r.athread_s}}) {
+      auto* b = benchmark::RegisterBenchmark(
+          (r.name + "/" + plat).c_str(),
+          [secs](benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(secs);
+            }
+          });
+      b->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

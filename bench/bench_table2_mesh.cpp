@@ -1,0 +1,51 @@
+// Reproduces Table 2: the cubed-sphere mesh configurations (ne64 ...
+// ne4096) with their element counts, and benchmarks the actual mesh
+// builder at laptop-feasible sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mesh/cubed_sphere.hpp"
+
+namespace {
+
+void print_table() {
+  struct Row {
+    const char* name;
+    long long ne;
+    long long paper_elems;
+  };
+  const Row rows[] = {
+      {"ne64", 64, 24576},       {"ne256", 256, 393216},
+      {"ne512", 512, 1572864},   {"ne1024", 1024, 6291456},
+      {"ne2048", 2048, 25165824}, {"ne4096", 4096, 100663296},
+  };
+  std::printf("\n=== Table 2: mesh configurations (128 vertical levels) ===\n");
+  std::printf("%-8s %14s %10s %16s %12s\n", "problem", "horizontal", "vertical",
+              "#elements", "paper");
+  for (const auto& r : rows) {
+    std::printf("%-8s %5lld x %5lld x 6 %10d %16lld %12lld\n", r.name, r.ne,
+                r.ne, 128, mesh::elements_for_ne(r.ne), r.paper_elems);
+  }
+  std::printf("\n");
+}
+
+void BM_BuildMesh(benchmark::State& state) {
+  const int ne = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto m = mesh::CubedSphere::build(ne, mesh::kEarthRadius);
+    benchmark::DoNotOptimize(m.nnodes());
+  }
+  state.counters["elements"] = static_cast<double>(6 * ne * ne);
+}
+BENCHMARK(BM_BuildMesh)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

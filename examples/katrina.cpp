@@ -1,0 +1,60 @@
+// The hurricane experiment of section 9, as a runnable example: simulate
+// a synthetic Katrina-class cyclone at a coarse and a fine resolution and
+// print the track/intensity tables of Figure 9.
+//
+//   ./katrina [hours] [ne_coarse] [ne_fine]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tc/katrina.hpp"
+
+namespace {
+
+void print_track(const tc::KatrinaRun& run, const tc::TcParams& vortex) {
+  std::printf("\n=== ne%d ===\n", run.ne);
+  std::printf("%6s %9s %9s %11s %9s %12s\n", "hour", "lat", "lon", "min ps",
+              "MSW m/s", "ref-dist km");
+  for (std::size_t i = 0; i < run.track.fixes.size(); ++i) {
+    const auto& f = run.track.fixes[i];
+    double rlat, rlon;
+    tc::reference_center(vortex, run.track.hours[i] * 3600.0,
+                         mesh::kEarthRadius, rlat, rlon);
+    std::printf("%6.1f %9.4f %9.4f %11.0f %9.1f %12.0f\n", run.track.hours[i],
+                f.lat, f.lon, f.min_ps, f.msw,
+                tc::great_circle(f.lat, f.lon, rlat, rlon,
+                                 mesh::kEarthRadius) /
+                    1000.0);
+  }
+  std::printf("mean track error: %.0f km, intensity retention: %.2f, "
+              "deepest center: %.0f Pa\n",
+              run.mean_track_error_km, run.intensity_retention,
+              run.deepest_ps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tc::KatrinaConfig cfg;
+  cfg.hours = argc > 1 ? std::atof(argv[1]) : 6.0;
+  cfg.ne_coarse = argc > 2 ? std::atoi(argv[2]) : 3;
+  cfg.ne_fine = argc > 3 ? std::atoi(argv[3]) : 8;
+  cfg.nlev = 8;
+  cfg.n_outputs = 6;
+
+  std::printf("Synthetic Katrina-class cyclone, %.0f h lifecycle segment\n",
+              cfg.hours);
+  std::printf("coarse ne%d (the paper's failing ne30 analog) vs fine ne%d "
+              "(the tracking ne120 analog)\n",
+              cfg.ne_coarse, cfg.ne_fine);
+
+  const auto result = tc::run_katrina(cfg);
+  print_track(result.coarse, cfg.vortex);
+  print_track(result.fine, cfg.vortex);
+
+  std::printf("\nConclusion: the fine run holds the cyclone (track error "
+              "%.0f km vs %.0f km) — the Figure 9 resolution contrast.\n",
+              result.fine.mean_track_error_km,
+              result.coarse.mean_track_error_km);
+  return 0;
+}

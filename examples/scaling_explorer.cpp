@@ -1,0 +1,47 @@
+// Explore the machine-scale performance model interactively: what SYPD
+// and sustained PFlops would a given resolution achieve on a given slice
+// of Sunway TaihuLight with each port of the code?
+//
+//   ./scaling_explorer [ne] [procs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/machine_model.hpp"
+
+int main(int argc, char** argv) {
+  const int ne = argc > 1 ? std::atoi(argv[1]) : 120;
+  const long long procs = argc > 2 ? std::atoll(argv[2]) : 28800;
+
+  std::printf("Calibrating the machine model on the SW26010 simulator...\n");
+  const auto model = perf::MachineModel::calibrate(128, 25, 32);
+
+  const long long nelem = 6LL * ne * ne;
+  std::printf("\nne%d: %lld elements (%.1f km), %lld processes (%lld "
+              "cores), %.0f elements/process\n",
+              ne, nelem, 3000.0 / ne, procs, procs * 65,
+              static_cast<double>(nelem) / static_cast<double>(procs));
+  std::printf("dynamics dt: %.1f s\n\n", perf::MachineModel::dyn_dt_seconds(ne));
+
+  std::printf("%-10s %12s %14s %12s %12s\n", "port", "SYPD", "step total",
+              "compute", "comm");
+  for (auto v : {perf::Version::kOriginal, perf::Version::kOpenAcc,
+                 perf::Version::kAthread}) {
+    const auto step = model.dycore_step(ne, procs, v);
+    std::printf("%-10s %12.2f %12.2f ms %9.2f ms %9.2f ms\n",
+                perf::to_string(v).c_str(), model.sypd(ne, procs, v),
+                step.total_s * 1e3, step.compute_s * 1e3, step.comm_s * 1e3);
+  }
+
+  const auto ath = model.dycore_step(ne, procs, perf::Version::kAthread);
+  std::printf("\ndycore sustained performance (athread): %.3f PFlops\n",
+              ath.pflops);
+  std::printf("overlap benefit: %.1f%% of the un-overlapped step\n",
+              100.0 *
+                  (model.dycore_step(ne, procs, perf::Version::kAthread, false)
+                       .total_s -
+                   ath.total_s) /
+                  model.dycore_step(ne, procs, perf::Version::kAthread, false)
+                      .total_s);
+  return 0;
+}

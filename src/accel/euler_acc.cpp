@@ -1,0 +1,177 @@
+#include "accel/euler_acc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/tile_math.hpp"
+#include "sw/footprint.hpp"
+#include "homme/state.hpp"
+#include "sw/task.hpp"
+
+namespace accel {
+
+using homme::fidx;
+
+namespace {
+
+/// The per-(element, tracer, level) arithmetic shared by every variant:
+/// vstar = vn0/dp; qdp += dt * (-div(vstar * qdp)).
+/// All pointers are level-tile pointers (16 doubles).
+void euler_tile(const double* dvv, const double* jac, const double* vn01,
+                const double* vn02, const double* dp, double* qdp, double dt,
+                sw::Cpe* cpe, bool vectorized) {
+  double f1[kNpp], f2[kNpp], div[kNpp];
+  for (int k = 0; k < kNpp; ++k) {
+    f1[k] = (vn01[k] / dp[k]) * qdp[k];
+    f2[k] = (vn02[k] / dp[k]) * qdp[k];
+  }
+  charge(cpe, vectorized, kNpp * 4);
+  tile_divergence(dvv, jac, f1, f2, div, cpe, vectorized);
+  for (int k = 0; k < kNpp; ++k) {
+    qdp[k] -= dt * div[k];
+  }
+  charge(cpe, vectorized, kNpp * 2);
+}
+
+}  // namespace
+
+EulerDerived EulerDerived::make(const PackedElems& p, int shared_extra) {
+  EulerDerived dv;
+  const std::size_t total = static_cast<std::size_t>(p.nelem) * p.field_size();
+  dv.vn01.resize(total);
+  dv.vn02.resize(total);
+  dv.extra.assign(total * static_cast<std::size_t>(shared_extra), 1.0);
+  // Mass flux consistent with the packed wind.
+  for (std::size_t i = 0; i < total; ++i) {
+    dv.vn01[i] = p.u1[i] * p.dp[i];
+    dv.vn02[i] = p.u2[i] * p.dp[i];
+  }
+  return dv;
+}
+
+void euler_ref(PackedElems& p, const EulerDerived& dv,
+               const EulerAccConfig& cfg) {
+  for (int e = 0; e < p.nelem; ++e) {
+    const double* jac = p.geom_of(e) + kJac * kNpp;
+    for (int q = 0; q < p.qsize; ++q) {
+      for (int lev = 0; lev < p.nlev; ++lev) {
+        const std::size_t off = p.elem_offset(e) + fidx(lev, 0);
+        euler_tile(p.dvv.data(), jac, dv.vn01.data() + off,
+                   dv.vn02.data() + off, p.dp.data() + off,
+                   p.qdp.data() + p.qdp_offset(e, q) + fidx(lev, 0), cfg.dt,
+                   nullptr, false);
+      }
+    }
+  }
+}
+
+sw::KernelStats euler_openacc(sw::CoreGroup& cg, PackedElems& p,
+                              const EulerDerived& dv,
+                              const EulerAccConfig& cfg) {
+  const int iters = p.nelem * p.qsize;
+  const int nshared = 3 + cfg.shared_extra;  // vn01, vn02, dp + dummies
+  // Level chunk that fits the shared slices + qdp slice + jac in LDM —
+  // what the paper's footprint-analysis tool decided per loop nest.
+  const int chunk =
+      sw::plan_level_chunks(nshared + 1, p.nlev, kNpp * sizeof(double))
+          .levels_per_chunk;
+
+  auto kernel = [&, chunk](sw::Cpe& cpe) -> sw::Task {
+    for (int it = cpe.id(); it < iters; it += sw::kCpesPerGroup) {
+      const int e = it / p.qsize;
+      const int q = it % p.qsize;
+      sw::LdmFrame frame(cpe.ldm());
+      auto jac = cpe.ldm().alloc<double>(kNpp);
+      cpe.get(jac, p.geom_of(e) + kJac * kNpp);
+      for (int s = 0; s < p.nlev; s += chunk) {
+        const int levs = std::min(chunk, p.nlev - s);
+        const std::size_t n =
+            static_cast<std::size_t>(levs) * kNpp;
+        sw::LdmFrame inner(cpe.ldm());
+        // The collapse(2) constraint: every (ie, q) iteration re-reads
+        // ALL shared arrays for its level chunk.
+        auto vn01 = cpe.ldm().alloc<double>(n);
+        auto vn02 = cpe.ldm().alloc<double>(n);
+        auto dp = cpe.ldm().alloc<double>(n);
+        const std::size_t off = p.elem_offset(e) + fidx(s, 0);
+        cpe.get(vn01, dv.vn01.data() + off);
+        cpe.get(vn02, dv.vn02.data() + off);
+        cpe.get(dp, p.dp.data() + off);
+        for (int x = 0; x < cfg.shared_extra; ++x) {
+          auto dummy = cpe.ldm().alloc<double>(n);
+          cpe.get(dummy,
+                  dv.extra.data() +
+                      static_cast<std::size_t>(x) * p.nelem * p.field_size() +
+                      off);
+        }
+        auto qdp = cpe.ldm().alloc<double>(n);
+        const std::size_t qoff = p.qdp_offset(e, q) + fidx(s, 0);
+        cpe.get(qdp, p.qdp.data() + qoff);
+        for (int l = 0; l < levs; ++l) {
+          const std::size_t t = static_cast<std::size_t>(l) * kNpp;
+          euler_tile(p.dvv.data(), jac.data(), vn01.data() + t,
+                     vn02.data() + t, dp.data() + t, qdp.data() + t, cfg.dt,
+                     &cpe, /*vectorized=*/false);
+        }
+        cpe.put(p.qdp.data() + qoff, std::span<const double>(qdp));
+      }
+      co_await cpe.yield();
+    }
+  };
+  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+}
+
+sw::KernelStats euler_athread(sw::CoreGroup& cg, PackedElems& p,
+                              const EulerDerived& dv,
+                              const EulerAccConfig& cfg) {
+  // Figure 2 decomposition: CPE column c handles element base+c, CPE row
+  // r handles layer block [r*L, (r+1)*L).
+  const int lev_per_row = (p.nlev + sw::kCpeRows - 1) / sw::kCpeRows;
+
+  auto kernel = [&](sw::Cpe& cpe) -> sw::Task {
+    for (int base = 0; base + cpe.col() < p.nelem;
+         base += sw::kCpeCols) {
+      const int e = base + cpe.col();
+      const int s = cpe.row() * lev_per_row;
+      const int levs = std::min(lev_per_row, p.nlev - s);
+      if (levs <= 0) continue;
+      const std::size_t n = static_cast<std::size_t>(levs) * kNpp;
+      sw::LdmFrame frame(cpe.ldm());
+      auto jac = cpe.ldm().alloc<double>(kNpp);
+      auto vn01 = cpe.ldm().alloc<double>(n);
+      auto vn02 = cpe.ldm().alloc<double>(n);
+      auto dp = cpe.ldm().alloc<double>(n);
+      auto qdp = cpe.ldm().alloc<double>(n);
+      const std::size_t off = p.elem_offset(e) + fidx(s, 0);
+      // Shared arrays enter the LDM ONCE per element (the whole point of
+      // the redesign) with one fused strided descriptor each.
+      cpe.get(jac, p.geom_of(e) + kJac * kNpp);
+      cpe.get(vn01, dv.vn01.data() + off);
+      cpe.get(vn02, dv.vn02.data() + off);
+      cpe.get(dp, p.dp.data() + off);
+      for (int x = 0; x < cfg.shared_extra; ++x) {
+        sw::LdmFrame dummy_frame(cpe.ldm());
+        auto dummy = cpe.ldm().alloc<double>(n);
+        cpe.get(dummy,
+                dv.extra.data() +
+                    static_cast<std::size_t>(x) * p.nelem * p.field_size() +
+                    off);
+      }
+      for (int q = 0; q < p.qsize; ++q) {
+        const std::size_t qoff = p.qdp_offset(e, q) + fidx(s, 0);
+        cpe.get(qdp, p.qdp.data() + qoff);
+        for (int l = 0; l < levs; ++l) {
+          const std::size_t t = static_cast<std::size_t>(l) * kNpp;
+          euler_tile(p.dvv.data(), jac.data(), vn01.data() + t,
+                     vn02.data() + t, dp.data() + t, qdp.data() + t, cfg.dt,
+                     &cpe, /*vectorized=*/true);
+        }
+        cpe.put(p.qdp.data() + qoff, std::span<const double>(qdp));
+      }
+      co_await cpe.yield();
+    }
+  };
+  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+}
+
+}  // namespace accel

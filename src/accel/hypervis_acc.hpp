@@ -1,0 +1,41 @@
+#pragma once
+
+#include "accel/packed.hpp"
+#include "sw/core_group.hpp"
+
+/// \file hypervis_acc.hpp
+/// Sunway ports of the dissipation kernels of Table 1:
+///   hypervis_dp1     — nabla^2 on momentum and temperature
+///   hypervis_dp2     — nabla^4 on momentum and temperature
+///   biharmonic_dp3d  — weak biharmonic on the layer thickness
+///
+/// These are the element-local operator applications (the DSS between
+/// and after applications belongs to bndry_exchangev). The OpenACC
+/// variant re-stages the metric tiles for every (element, level)
+/// iteration of the collapsed loop; the Athread variant keeps the metric
+/// and an element's level block resident and runs 4-wide.
+
+namespace accel {
+
+struct HypervisAccConfig {
+  double nu_dt = 1.0e10;  ///< nu * dt, m^4 (m^2 for dp1)
+};
+
+enum class HvKernel {
+  kDp1,        ///< single Laplacian on u1, u2, T
+  kDp2,        ///< biharmonic on u1, u2, T
+  kBiharmDp3d  ///< biharmonic on dp
+};
+
+/// Host reference on packed data.
+void hypervis_ref(PackedElems& p, HvKernel which,
+                  const HypervisAccConfig& cfg);
+
+sw::KernelStats hypervis_openacc(sw::CoreGroup& cg, PackedElems& p,
+                                 HvKernel which,
+                                 const HypervisAccConfig& cfg);
+sw::KernelStats hypervis_athread(sw::CoreGroup& cg, PackedElems& p,
+                                 HvKernel which,
+                                 const HypervisAccConfig& cfg);
+
+}  // namespace accel

@@ -1,0 +1,159 @@
+#include "accel/packed.hpp"
+
+#include <cmath>
+
+#include "mesh/gll.hpp"
+
+namespace accel {
+
+using mesh::kNpp;
+
+namespace {
+
+void pack_geometry(const mesh::ElementGeom& g, double* out) {
+  for (int k = 0; k < kNpp; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    out[kJac * kNpp + k] = g.jac[sk];
+    out[kGinv11 * kNpp + k] = g.ginv11[sk];
+    out[kGinv12 * kNpp + k] = g.ginv12[sk];
+    out[kGinv22 * kNpp + k] = g.ginv22[sk];
+    out[kG11 * kNpp + k] = g.g11[sk];
+    out[kG12 * kNpp + k] = g.g12[sk];
+    out[kG22 * kNpp + k] = g.g22[sk];
+    for (int d = 0; d < 3; ++d) {
+      out[(kA1X + d) * kNpp + k] = g.a1[sk][d];
+      out[(kA2X + d) * kNpp + k] = g.a2[sk][d];
+      out[(kB1X + d) * kNpp + k] = g.b1[sk][d];
+      out[(kB2X + d) * kNpp + k] = g.b2[sk][d];
+    }
+    const double r = std::sqrt(mesh::dot(g.pos[sk], g.pos[sk]));
+    out[kRhatX * kNpp + k] = g.pos[sk][0] / r;
+    out[kRhatY * kNpp + k] = g.pos[sk][1] / r;
+    out[kRhatZ * kNpp + k] = g.pos[sk][2] / r;
+    out[kCor * kNpp + k] = g.coriolis[sk];
+  }
+}
+
+void init_common(PackedElems& p, int nelem, const homme::Dims& d) {
+  p.nelem = nelem;
+  p.nlev = d.nlev;
+  p.qsize = d.qsize;
+  const auto& b = mesh::gll();
+  p.dvv.resize(kNpp);
+  for (int i = 0; i < mesh::kNp; ++i) {
+    for (int j = 0; j < mesh::kNp; ++j) {
+      p.dvv[static_cast<std::size_t>(i * mesh::kNp + j)] =
+          b.deriv[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  p.gweights.assign(b.weights.begin(), b.weights.end());
+  const std::size_t fs = p.field_size();
+  p.geom.resize(static_cast<std::size_t>(nelem) * kGeomDoubles);
+  p.u1.resize(static_cast<std::size_t>(nelem) * fs);
+  p.u2.resize(static_cast<std::size_t>(nelem) * fs);
+  p.T.resize(static_cast<std::size_t>(nelem) * fs);
+  p.dp.resize(static_cast<std::size_t>(nelem) * fs);
+  p.qdp.resize(static_cast<std::size_t>(nelem) * d.qsize * fs);
+  p.phis.resize(static_cast<std::size_t>(nelem) * kNpp);
+}
+
+}  // namespace
+
+PackedElems PackedElems::from_state(const mesh::CubedSphere& m,
+                                    const homme::Dims& d,
+                                    const homme::State& s,
+                                    const std::vector<int>& elems) {
+  PackedElems p;
+  init_common(p, static_cast<int>(elems.size()), d);
+  const std::size_t fs = p.field_size();
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const int ge = elems[i];
+    pack_geometry(m.geom(ge), p.geom.data() + i * kGeomDoubles);
+    const auto& es = s[static_cast<std::size_t>(ge)];
+    std::copy(es.u1.begin(), es.u1.end(), p.u1.begin() + i * fs);
+    std::copy(es.u2.begin(), es.u2.end(), p.u2.begin() + i * fs);
+    std::copy(es.T.begin(), es.T.end(), p.T.begin() + i * fs);
+    std::copy(es.dp.begin(), es.dp.end(), p.dp.begin() + i * fs);
+    std::copy(es.qdp.begin(), es.qdp.end(),
+              p.qdp.begin() + i * static_cast<std::size_t>(d.qsize) * fs);
+    std::copy(es.phis.begin(), es.phis.end(),
+              p.phis.begin() + i * static_cast<std::size_t>(kNpp));
+  }
+  return p;
+}
+
+PackedElems PackedElems::synthetic(const mesh::CubedSphere& m,
+                                   const homme::Dims& d, int nelem) {
+  PackedElems p;
+  init_common(p, nelem, d);
+  for (int e = 0; e < nelem; ++e) {
+    const int ge = e % m.nelem();
+    pack_geometry(m.geom(ge), p.geom.data() +
+                                  static_cast<std::size_t>(e) * kGeomDoubles);
+    for (int lev = 0; lev < p.nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        const std::size_t f =
+            p.elem_offset(e) + homme::fidx(lev, k);
+        const double x = 0.1 * e + 0.3 * lev + 0.05 * k;
+        p.u1[f] = 3e-6 * std::sin(x);
+        p.u2[f] = 2e-6 * std::cos(1.3 * x);
+        p.T[f] = 280.0 + 10.0 * std::sin(0.7 * x);
+        p.dp[f] = (homme::kP0 - homme::kPtop) / p.nlev *
+                  (1.0 + 0.1 * std::sin(2.1 * x));
+        for (int q = 0; q < p.qsize; ++q) {
+          p.qdp[p.qdp_offset(e, q) + homme::fidx(lev, k)] =
+              (0.5 + 0.4 * std::sin(x + q)) * p.dp[f];
+        }
+      }
+    }
+    for (int k = 0; k < kNpp; ++k) {
+      p.phis[static_cast<std::size_t>(e) * kNpp + k] = 0.0;
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Compulsory-traffic estimates (bytes) for the roofline pricing of the
+// cache-based platforms. One "pass" = read or write of a [lev][16] field.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t field_bytes(const PackedElems& p) {
+  return static_cast<std::uint64_t>(p.nelem) * p.field_size() *
+         sizeof(double);
+}
+}  // namespace
+
+sw::WorkEstimate euler_step_work(const PackedElems& p) {
+  sw::WorkEstimate w;
+  // Reads u1, u2, dp once (cached across the q loop on cache platforms),
+  // reads + writes each tracer once; geometry fits in cache.
+  w.bytes = field_bytes(p) * 3 +
+            static_cast<std::uint64_t>(2 * p.qsize) * field_bytes(p);
+  return w;
+}
+
+sw::WorkEstimate rhs_work(const PackedElems& p) {
+  sw::WorkEstimate w;
+  // Reads u1,u2,T,dp; writes tendencies for u1,u2,T,dp; p/phi scratch.
+  w.bytes = field_bytes(p) * 10;
+  return w;
+}
+
+sw::WorkEstimate remap_work(const PackedElems& p) {
+  sw::WorkEstimate w;
+  // Reads + writes u1,u2,T and each tracer; dp read + written.
+  w.bytes = field_bytes(p) * (8 + 2 * static_cast<std::uint64_t>(p.qsize));
+  return w;
+}
+
+sw::WorkEstimate laplace_work(const PackedElems& p, int applications) {
+  sw::WorkEstimate w;
+  // Per application: read field, write result (T + 2 wind components ~ 3
+  // fields for the momentum/temperature operators).
+  w.bytes = field_bytes(p) * 2 * static_cast<std::uint64_t>(applications);
+  return w;
+}
+
+}  // namespace accel

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "physics/modules.hpp"
+#include "sw/core_group.hpp"
+
+/// \file physics_acc.hpp
+/// The Sunway port of the physics suite. CAM's physics is hundreds of
+/// column-independent schemes; the paper's port parallelizes columns over
+/// the CPE cluster and fights the same LDM battle as the dycore:
+///
+/// * OpenACC variant: one parallel region *per scheme* (that is how the
+///   directive refactoring of independently-authored modules comes out),
+///   so every scheme re-stages its columns from main memory and every
+///   region pays the spawn overhead.
+/// * Athread variant: a CPE claims a column, stages it into the LDM
+///   once, runs the whole suite on it, and writes it back once.
+///
+/// Both variants call the exact phys:: module functions, so results are
+/// bit-identical with the host reference.
+
+namespace accel {
+
+/// Column-major packed physics state: arrays of [ncols][nlev].
+struct PackedColumns {
+  int ncols = 0;
+  int nlev = 0;
+  std::vector<double> t, q, u, v, dp, p;  ///< [col * nlev + lev]
+  std::vector<double> ps, sst, lat;       ///< [col]
+
+  static PackedColumns synthetic(int ncols, int nlev);
+
+  std::size_t off(int col) const {
+    return static_cast<std::size_t>(col) * nlev;
+  }
+};
+
+struct PhysicsAccConfig {
+  double dt = 1800.0;
+  phys::RadiationConfig rad{};
+  phys::SurfaceConfig sfc{};
+};
+
+/// Host reference: the full suite column by column.
+void physics_ref(PackedColumns& p, const PhysicsAccConfig& cfg);
+
+sw::KernelStats physics_openacc(sw::CoreGroup& cg, PackedColumns& p,
+                                const PhysicsAccConfig& cfg);
+sw::KernelStats physics_athread(sw::CoreGroup& cg, PackedColumns& p,
+                                const PhysicsAccConfig& cfg);
+
+/// Max relative difference across all prognostic arrays.
+double columns_max_rel_diff(const PackedColumns& a, const PackedColumns& b);
+
+}  // namespace accel

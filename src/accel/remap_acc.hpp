@@ -1,0 +1,27 @@
+#pragma once
+
+#include "accel/packed.hpp"
+#include "sw/core_group.hpp"
+
+/// \file remap_acc.hpp
+/// Sunway ports of vertical_remap (Table 1 kernel #3).
+///
+/// The remap is a per-column operation: each GLL column gathers its
+/// levels (stride 16 doubles in the [lev][gidx] layout — the strided-DMA
+/// pattern the Sunway engine supports natively), rebuilds the reference
+/// grid, and conservatively remaps u, T and the tracer mixing ratios.
+///
+/// * OpenACC variant: collapse over (element, GLL point) with the source
+///   thickness re-gathered for every field remapped (per-loop copyin).
+/// * Athread variant: a CPE owns whole columns; the source/target grids
+///   are built once and reused across all fields and tracers.
+
+namespace accel {
+
+/// Host reference on packed data.
+void remap_ref(PackedElems& p);
+
+sw::KernelStats remap_openacc(sw::CoreGroup& cg, PackedElems& p);
+sw::KernelStats remap_athread(sw::CoreGroup& cg, PackedElems& p);
+
+}  // namespace accel

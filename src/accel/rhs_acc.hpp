@@ -1,0 +1,42 @@
+#pragma once
+
+#include "accel/packed.hpp"
+#include "sw/core_group.hpp"
+
+/// \file rhs_acc.hpp
+/// Sunway ports of compute_and_apply_rhs (Table 1 kernel #1) — the kernel
+/// whose OpenACC port came out 6x *slower* than a single Intel core, and
+/// the showcase of the register-communication scan of section 7.4.
+///
+/// * OpenACC variant: the directive port cannot restructure the vertical
+///   scans, so each CPE walks whole elements level by level, with every
+///   "parallel region" staging its inputs from main memory again — a
+///   stream of 16-double DMA transfers whose startup latency dominates.
+/// * Athread variant: the Figure 2 decomposition. CPE column c owns
+///   element base+c; CPE row r owns a 16-layer block. The pressure,
+///   geopotential and omega scans run as 3-stage register-communication
+///   scans along the CPE column; all state lives in LDM; arithmetic is
+///   4-wide.
+///
+/// The kernel updates u, T, dp in place by dt * RHS (the DSS that follows
+/// in the full model is bndry_exchangev's job and measured there).
+
+namespace accel {
+
+struct RhsAccConfig {
+  double dt = 100.0;
+};
+
+/// Host reference (sequential scans + the same tile arithmetic).
+void rhs_ref(PackedElems& p, const RhsAccConfig& cfg);
+
+/// OpenACC-style port. Mutates p.u1/u2/T/dp.
+sw::KernelStats rhs_openacc(sw::CoreGroup& cg, PackedElems& p,
+                            const RhsAccConfig& cfg);
+
+/// Athread fine-grained port with register-communication scans.
+/// Requires p.nlev to be a multiple of the CPE row count (8).
+sw::KernelStats rhs_athread(sw::CoreGroup& cg, PackedElems& p,
+                            const RhsAccConfig& cfg);
+
+}  // namespace accel

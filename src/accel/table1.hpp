@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/packed.hpp"
+#include "sw/core_group.hpp"
+
+/// \file table1.hpp
+/// Reproduction harness for Table 1 / Figure 5 of the paper: the six key
+/// dynamics kernels timed on (a) one Intel Xeon E5-2680v3 core, (b) one
+/// SW26010 MPE, (c) the 64-CPE cluster via OpenACC-style refactoring,
+/// (d) the 64-CPE cluster via the Athread redesign.
+///
+/// The CPE-cluster times are modeled by executing the ports on the
+/// deterministic simulator (flops and DMA traffic are *measured*); the
+/// cache-based platforms are priced by the roofline model of
+/// sw/cost_model.hpp using the measured flop counts and analytic
+/// compulsory traffic. The paper's Table 1 reports cumulative seconds of
+/// 6,144-process ne256 runs; we report per-invocation seconds of one
+/// process's share (64 elements), so the *ratios* are the comparable
+/// quantity.
+
+namespace accel {
+
+struct Table1Config {
+  int nelem = 64;   ///< elements per process at ne256 / 6,144 processes
+  int nlev = 128;   ///< paper configuration
+  int qsize = 25;   ///< CAM5-like tracer count
+  int mesh_ne = 4;  ///< geometry donor mesh
+};
+
+struct Table1Row {
+  std::string name;
+  double intel_s = 0.0;
+  double mpe_s = 0.0;
+  double acc_s = 0.0;
+  double athread_s = 0.0;
+  /// Paper Table 1 values (seconds, 6144-process runs) for comparison.
+  double paper_intel = 0.0, paper_mpe = 0.0, paper_acc = 0.0;
+  std::uint64_t flops = 0;
+  std::uint64_t acc_dma_bytes = 0;
+  std::uint64_t athread_dma_bytes = 0;
+
+  double acc_speedup_vs_mpe() const { return mpe_s / acc_s; }
+  double athread_speedup_vs_acc() const { return acc_s / athread_s; }
+  double athread_speedup_vs_intel() const { return intel_s / athread_s; }
+};
+
+/// Run all six kernels on every platform; also verifies that the OpenACC
+/// and Athread ports agree with the host reference (throws on mismatch).
+std::vector<Table1Row> run_table1(const Table1Config& cfg);
+
+/// Maximum relative deviation between two packed element sets (used by
+/// the correctness gate inside run_table1; exposed for tests).
+double packed_max_rel_diff(const PackedElems& a, const PackedElems& b);
+
+}  // namespace accel

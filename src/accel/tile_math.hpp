@@ -1,0 +1,114 @@
+#pragma once
+
+#include "mesh/gll.hpp"
+#include "sw/core_group.hpp"
+
+/// \file tile_math.hpp
+/// The arithmetic inner loops of the ported kernels, expressed on raw
+/// 16-double tiles with explicitly passed derivative matrix and geometry
+/// tiles — the form they take inside a CPE's LDM. Both the reference
+/// (host) kernels and the Sunway variants call these, so every variant
+/// computes bit-identical arithmetic; the variants differ only in data
+/// movement and in how flops are issued (scalar vs 4-wide vector).
+///
+/// When \p cpe is non-null, retired operations are charged to it; \p
+/// vectorized selects the vector or scalar flop counter (the arithmetic
+/// itself is performed identically either way — the simulator separates
+/// functional results from timing).
+
+namespace accel {
+
+inline constexpr int kNp = mesh::kNp;
+inline constexpr int kNpp = mesh::kNpp;
+
+/// Charge \p n flops to \p cpe (if any) on the chosen issue width.
+inline void charge(sw::Cpe* cpe, bool vectorized, std::uint64_t n) {
+  if (cpe == nullptr) return;
+  if (vectorized) {
+    cpe->vector_flops(n);
+  } else {
+    cpe->scalar_flops(n);
+  }
+}
+
+/// out = divergence of the contravariant vector (f1, f2):
+/// (1/jac) * (d(jac*f1)/dx + d(jac*f2)/dy).
+inline void tile_divergence(const double* dvv, const double* jac,
+                            const double* f1, const double* f2, double* out,
+                            sw::Cpe* cpe = nullptr, bool vectorized = false) {
+  double a[kNpp], b[kNpp];
+  for (int k = 0; k < kNpp; ++k) {
+    a[k] = jac[k] * f1[k];
+    b[k] = jac[k] * f2[k];
+  }
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += dvv[i * kNp + m] * a[j * kNp + m];
+        dy += dvv[j * kNp + m] * b[m * kNp + i];
+      }
+      out[j * kNp + i] = (dx + dy) / jac[j * kNp + i];
+    }
+  }
+  charge(cpe, vectorized, kNpp * (2 + 4 * kNp + 2));
+}
+
+/// d1 = ds/dx, d2 = ds/dy on the reference element.
+inline void tile_deriv(const double* dvv, const double* s, double* d1,
+                       double* d2, sw::Cpe* cpe = nullptr,
+                       bool vectorized = false) {
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += dvv[i * kNp + m] * s[j * kNp + m];
+        dy += dvv[j * kNp + m] * s[m * kNp + i];
+      }
+      d1[j * kNp + i] = dx;
+      d2[j * kNp + i] = dy;
+    }
+  }
+  charge(cpe, vectorized, kNpp * 4 * kNp);
+}
+
+/// Relative vorticity of a contravariant vector given the metric tiles.
+inline void tile_vorticity(const double* dvv, const double* jac,
+                           const double* g11, const double* g12,
+                           const double* g22, const double* u1,
+                           const double* u2, double* out,
+                           sw::Cpe* cpe = nullptr, bool vectorized = false) {
+  double c1[kNpp], c2[kNpp];
+  for (int k = 0; k < kNpp; ++k) {
+    c1[k] = g11[k] * u1[k] + g12[k] * u2[k];
+    c2[k] = g12[k] * u1[k] + g22[k] * u2[k];
+  }
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += dvv[i * kNp + m] * c2[j * kNp + m];
+        dy += dvv[j * kNp + m] * c1[m * kNp + i];
+      }
+      out[j * kNp + i] = (dx - dy) / jac[j * kNp + i];
+    }
+  }
+  charge(cpe, vectorized, kNpp * (6 + 4 * kNp + 2));
+}
+
+/// Strong-form Laplacian with metric tiles: div(ginv * grad s).
+inline void tile_laplace(const double* dvv, const double* jac,
+                         const double* gi11, const double* gi12,
+                         const double* gi22, const double* s, double* out,
+                         sw::Cpe* cpe = nullptr, bool vectorized = false) {
+  double d1[kNpp], d2[kNpp], f1[kNpp], f2[kNpp];
+  tile_deriv(dvv, s, d1, d2, cpe, vectorized);
+  for (int k = 0; k < kNpp; ++k) {
+    f1[k] = gi11[k] * d1[k] + gi12[k] * d2[k];
+    f2[k] = gi12[k] * d1[k] + gi22[k] * d2[k];
+  }
+  charge(cpe, vectorized, kNpp * 6);
+  tile_divergence(dvv, jac, f1, f2, out, cpe, vectorized);
+}
+
+}  // namespace accel

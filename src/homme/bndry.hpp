@@ -1,0 +1,101 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+#include "mesh/partition.hpp"
+#include "net/mini_mpi.hpp"
+
+/// \file bndry.hpp
+/// bndry_exchangev — the distributed direct stiffness summation and the
+/// paper's section 7.6 redesign.
+///
+/// The original HOMME design funnels every exchanged value through a
+/// unified pack/unpack buffer: element partial sums -> pack buffer ->
+/// MPI -> recv buffer -> pack buffer -> elements. It is clean but costs
+/// an extra pass of memory copies, and posts communication only after all
+/// elements are packed.
+///
+/// The redesign (a) splits elements into an interior set and a boundary
+/// set, computes the boundary first, posts asynchronous sends, overlaps
+/// the interior computation with the communication, and (b) unpacks
+/// receive buffers *directly* into the node accumulators, skipping the
+/// intermediate pack buffer. On TaihuLight this cut HOMME's runtime by
+/// 23% (overlap) plus 30% (copy removal); here both paths produce
+/// bit-identical results and the cost difference is captured by the
+/// byte/copy counters and the analytic network model.
+
+namespace homme {
+
+/// Per-rank engine for halo-assembled DSS. Element fields are indexed by
+/// *local* position (the order of Partition::rank_elems[rank]).
+class BndryExchange {
+ public:
+  enum class Mode {
+    kOriginal,  ///< pack-buffer design, no overlap
+    kOverlap    ///< boundary-first + async + direct unpack (redesign)
+  };
+
+  BndryExchange(const mesh::CubedSphere& mesh, const mesh::Partition& part,
+                const mesh::CommPlan& plan, int rank);
+
+  int rank() const { return rank_; }
+  int nlocal() const { return static_cast<int>(local_elems_.size()); }
+  /// Global element id of local element \p le.
+  int global_elem(int le) const {
+    return local_elems_[static_cast<std::size_t>(le)];
+  }
+  /// Local elements whose nodes are all rank-interior.
+  const std::vector<int>& interior_elements() const { return interior_; }
+  /// Local elements touching at least one shared node.
+  const std::vector<int>& boundary_elements() const { return boundary_; }
+
+  /// DSS a multi-level scalar field across all ranks (collective: every
+  /// rank calls this with its own BndryExchange and fields).
+  void dss_levels(net::Rank& r, std::span<double* const> fields, int nlev,
+                  Mode mode);
+
+  /// DSS a contravariant vector field (via Cartesian rotation).
+  void dss_vector_levels(net::Rank& r, std::span<double* const> u1,
+                         std::span<double* const> u2, int nlev, Mode mode);
+
+  /// Memory-copy traffic of the last dss_levels call, bytes. The original
+  /// mode pays the extra pack-buffer pass that the redesign removes.
+  std::size_t last_copy_bytes() const { return last_copy_bytes_; }
+  /// MPI bytes sent by the last dss_levels call.
+  std::size_t last_msg_bytes() const { return last_msg_bytes_; }
+
+ private:
+  struct NeighborBuf {
+    int rank;
+    std::vector<int> local_nodes;  ///< local node index per plan entry
+    std::vector<double> send;
+    std::vector<double> recv;
+  };
+
+  void accumulate(std::span<double* const> fields, int nlev,
+                  const std::vector<int>& elems);
+  void scatter(std::span<double* const> fields, int nlev);
+
+  const mesh::CubedSphere& mesh_;
+  int rank_;
+  std::vector<int> local_elems_;
+  std::vector<int> interior_;
+  std::vector<int> boundary_;
+
+  // Local node table: global node id -> dense local index.
+  std::unordered_map<int, int> node_index_;
+  int nlocal_nodes_ = 0;
+  std::vector<double> node_acc_;      ///< [local node][lev]
+  std::vector<double> node_rmass_;    ///< 1 / globally assembled mass
+  std::vector<NeighborBuf> neighbors_;
+  std::vector<std::array<int, mesh::kNpp>> local_node_of_elem_;
+  std::vector<bool> elem_is_boundary_;
+
+  std::size_t last_copy_bytes_ = 0;
+  std::size_t last_msg_bytes_ = 0;
+};
+
+}  // namespace homme

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file driver.hpp
+/// prim_run — the dynamics driver. One dynamics step is:
+///   1. SSP-RK3 integration of the primitive equations
+///      (three compute_and_apply_rhs evaluations, each ending in DSS),
+///   2. an euler_step tracer subcycle,
+///   3. nabla^4 hyperviscosity (hypervis_dp2 + biharmonic_dp3d),
+///   4. every remap_freq steps, vertical_remap back to reference levels.
+/// This is the structure the paper's timers break into the six Table 1
+/// kernels.
+
+namespace homme {
+
+struct DycoreConfig {
+  double dt = 0.0;         ///< dynamics time step, s (0: pick stable_dt)
+  int remap_freq = 3;      ///< vertical remap cadence, steps
+  double nu = -1.0;        ///< nabla^4 coefficient (m^4/s); <0: auto
+  bool limit_tracers = true;
+  bool hypervis_on = true;
+};
+
+/// Conservation / sanity diagnostics of a state.
+struct Diagnostics {
+  double dry_mass = 0.0;      ///< integral of dp dA (total air mass * g)
+  double total_energy = 0.0;  ///< integral of (cp T + KE) dp dA / g
+  double max_wind = 0.0;      ///< max |u| (m/s)
+  double min_dp = 0.0;        ///< min layer thickness (sanity: > 0)
+  double max_t = 0.0, min_t = 0.0;
+};
+
+class Dycore {
+ public:
+  Dycore(const mesh::CubedSphere& m, const Dims& d, DycoreConfig cfg);
+
+  /// Advance one dynamics step.
+  void step(State& s);
+  /// Advance \p n steps.
+  void run(State& s, int n);
+
+  Diagnostics diagnose(const State& s) const;
+
+  double dt() const { return cfg_.dt; }
+  double nu() const { return cfg_.nu; }
+  /// Smallest GLL spacing, m.
+  double min_dx() const { return min_dx_; }
+
+  /// A conservative CFL-stable time step for wind + gravity-wave speed
+  /// \p cmax (m/s) on mesh \p m.
+  static double stable_dt(const mesh::CubedSphere& m, double cmax = 400.0);
+
+ private:
+  const mesh::CubedSphere& mesh_;
+  Dims dims_;
+  DycoreConfig cfg_;
+  double min_dx_;
+  int step_count_ = 0;
+  State stage1_, stage2_;
+};
+
+}  // namespace homme

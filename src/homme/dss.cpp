@@ -1,0 +1,88 @@
+#include "homme/dss.hpp"
+
+#include "homme/ops.hpp"
+#include "homme/state.hpp"
+
+namespace homme {
+
+using mesh::kNpp;
+
+void dss_levels(const mesh::CubedSphere& m,
+                std::span<double* const> elem_fields, int nlev) {
+  std::vector<double> acc(
+      static_cast<std::size_t>(m.nnodes()) * static_cast<std::size_t>(nlev),
+      0.0);
+  const int nelem = m.nelem();
+  for (int e = 0; e < nelem; ++e) {
+    const auto& ids = m.nodes(e);
+    const auto& g = m.geom(e);
+    const double* f = elem_fields[static_cast<std::size_t>(e)];
+    for (int lev = 0; lev < nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        acc[static_cast<std::size_t>(ids[static_cast<std::size_t>(k)]) *
+                static_cast<std::size_t>(nlev) +
+            static_cast<std::size_t>(lev)] +=
+            g.mass[static_cast<std::size_t>(k)] * f[fidx(lev, k)];
+      }
+    }
+  }
+  for (int e = 0; e < nelem; ++e) {
+    const auto& ids = m.nodes(e);
+    const auto& g = m.geom(e);
+    double* f = elem_fields[static_cast<std::size_t>(e)];
+    for (int lev = 0; lev < nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        f[fidx(lev, k)] =
+            acc[static_cast<std::size_t>(ids[static_cast<std::size_t>(k)]) *
+                    static_cast<std::size_t>(nlev) +
+                static_cast<std::size_t>(lev)] *
+            g.rmass[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+}
+
+void dss_vector_levels(const mesh::CubedSphere& m,
+                       std::span<double* const> u1,
+                       std::span<double* const> u2, int nlev) {
+  const int nelem = m.nelem();
+  // Cartesian scratch per element (owned here; modest for reference use).
+  std::vector<std::vector<double>> ux(static_cast<std::size_t>(nelem)),
+      uy(static_cast<std::size_t>(nelem)), uz(static_cast<std::size_t>(nelem));
+  const std::size_t fs = static_cast<std::size_t>(nlev) * kNpp;
+  for (int e = 0; e < nelem; ++e) {
+    ux[static_cast<std::size_t>(e)].resize(fs);
+    uy[static_cast<std::size_t>(e)].resize(fs);
+    uz[static_cast<std::size_t>(e)].resize(fs);
+    const auto& g = m.geom(e);
+    for (int lev = 0; lev < nlev; ++lev) {
+      contra_to_cart(g, u1[static_cast<std::size_t>(e)] + fidx(lev, 0),
+                     u2[static_cast<std::size_t>(e)] + fidx(lev, 0),
+                     ux[static_cast<std::size_t>(e)].data() + fidx(lev, 0),
+                     uy[static_cast<std::size_t>(e)].data() + fidx(lev, 0),
+                     uz[static_cast<std::size_t>(e)].data() + fidx(lev, 0));
+    }
+  }
+  std::vector<double*> px(static_cast<std::size_t>(nelem)),
+      py(static_cast<std::size_t>(nelem)), pz(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    px[static_cast<std::size_t>(e)] = ux[static_cast<std::size_t>(e)].data();
+    py[static_cast<std::size_t>(e)] = uy[static_cast<std::size_t>(e)].data();
+    pz[static_cast<std::size_t>(e)] = uz[static_cast<std::size_t>(e)].data();
+  }
+  dss_levels(m, px, nlev);
+  dss_levels(m, py, nlev);
+  dss_levels(m, pz, nlev);
+  for (int e = 0; e < nelem; ++e) {
+    const auto& g = m.geom(e);
+    for (int lev = 0; lev < nlev; ++lev) {
+      cart_to_contra(g, ux[static_cast<std::size_t>(e)].data() + fidx(lev, 0),
+                     uy[static_cast<std::size_t>(e)].data() + fidx(lev, 0),
+                     uz[static_cast<std::size_t>(e)].data() + fidx(lev, 0),
+                     u1[static_cast<std::size_t>(e)] + fidx(lev, 0),
+                     u2[static_cast<std::size_t>(e)] + fidx(lev, 0));
+    }
+  }
+}
+
+}  // namespace homme

@@ -1,0 +1,133 @@
+#include "homme/euler.hpp"
+
+#include <vector>
+
+#include "homme/dss.hpp"
+#include "homme/ops.hpp"
+
+namespace homme {
+
+using mesh::kNpp;
+
+void element_tracer_rhs(const mesh::ElementGeom& g, const Dims& d,
+                        const ElementState& es,
+                        std::span<const double> qdp, std::span<double> rhs) {
+  double f1[kNpp], f2[kNpp];
+  for (int lev = 0; lev < d.nlev; ++lev) {
+    const double* u1 = es.u1.data() + fidx(lev, 0);
+    const double* u2 = es.u2.data() + fidx(lev, 0);
+    const double* q = qdp.data() + fidx(lev, 0);
+    for (int k = 0; k < kNpp; ++k) {
+      f1[k] = u1[k] * q[k];
+      f2[k] = u2[k] * q[k];
+    }
+    divergence_sphere(g, f1, f2, rhs.data() + fidx(lev, 0));
+    for (int k = 0; k < kNpp; ++k) {
+      rhs[fidx(lev, k)] = -rhs[fidx(lev, k)];
+    }
+  }
+}
+
+void positivity_limiter(const mesh::ElementGeom& g, int nlev,
+                        std::span<double> qdp) {
+  for (int lev = 0; lev < nlev; ++lev) {
+    double mass = 0.0, positive = 0.0;
+    for (int k = 0; k < kNpp; ++k) {
+      const double v = qdp[fidx(lev, k)];
+      const double w = g.mass[static_cast<std::size_t>(k)];
+      mass += w * v;
+      if (v > 0.0) positive += w * v;
+    }
+    if (mass <= 0.0) {
+      // Nothing positive to redistribute; clip to zero.
+      for (int k = 0; k < kNpp; ++k) {
+        if (qdp[fidx(lev, k)] < 0.0) qdp[fidx(lev, k)] = 0.0;
+      }
+      continue;
+    }
+    if (positive == mass) continue;  // nothing negative
+    const double scale = mass / positive;
+    for (int k = 0; k < kNpp; ++k) {
+      double& v = qdp[fidx(lev, k)];
+      v = v > 0.0 ? v * scale : 0.0;
+    }
+  }
+}
+
+void euler_step(const mesh::CubedSphere& m, const Dims& d, State& s,
+                double dt, bool limit) {
+  const int nelem = m.nelem();
+  const std::size_t fs = d.field_size();
+
+  // Per-tracer stage buffers (q0 = start of step, qs = working stage).
+  std::vector<std::vector<double>> q0(static_cast<std::size_t>(nelem)),
+      qs(static_cast<std::size_t>(nelem)),
+      rhs(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    q0[static_cast<std::size_t>(e)].resize(fs);
+    qs[static_cast<std::size_t>(e)].resize(fs);
+    rhs[static_cast<std::size_t>(e)].resize(fs);
+  }
+  std::vector<double*> qs_ptrs(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    qs_ptrs[static_cast<std::size_t>(e)] =
+        qs[static_cast<std::size_t>(e)].data();
+  }
+
+  for (int q = 0; q < d.qsize; ++q) {
+    for (int e = 0; e < nelem; ++e) {
+      const std::size_t se = static_cast<std::size_t>(e);
+      auto src = s[se].q(q, d);
+      std::copy(src.begin(), src.end(), q0[se].begin());
+      std::copy(src.begin(), src.end(), qs[se].begin());
+    }
+
+    // SSP-RK3 (Shu-Osher): each stage = Euler step + convex combination,
+    // with DSS (and optionally the limiter) after every stage.
+    const double stage_w[3][2] = {
+        {0.0, 1.0},              // q1 = q0 + dt L(q0)
+        {0.75, 0.25},            // q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+        {1.0 / 3.0, 2.0 / 3.0}}; // q3 = 1/3 q0 + 2/3 (q2 + dt L(q2))
+    for (int stage = 0; stage < 3; ++stage) {
+      for (int e = 0; e < nelem; ++e) {
+        const std::size_t se = static_cast<std::size_t>(e);
+        element_tracer_rhs(m.geom(e), d, s[se], qs[se], rhs[se]);
+        const double a = stage_w[stage][0];
+        const double b = stage_w[stage][1];
+        for (std::size_t f = 0; f < fs; ++f) {
+          qs[se][f] = a * q0[se][f] + b * (qs[se][f] + dt * rhs[se][f]);
+        }
+      }
+      dss_levels(m, qs_ptrs, d.nlev);
+      if (limit) {
+        for (int e = 0; e < nelem; ++e) {
+          positivity_limiter(m.geom(e), d.nlev,
+                             qs[static_cast<std::size_t>(e)]);
+        }
+      }
+    }
+
+    for (int e = 0; e < nelem; ++e) {
+      const std::size_t se = static_cast<std::size_t>(e);
+      auto dst = s[se].q(q, d);
+      std::copy(qs[se].begin(), qs[se].end(), dst.begin());
+    }
+  }
+}
+
+double tracer_mass(const mesh::CubedSphere& m, const Dims& d, const State& s,
+                   int tracer) {
+  double total = 0.0;
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    auto q = s[static_cast<std::size_t>(e)].q(tracer, d);
+    for (int lev = 0; lev < d.nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        total += g.mass[static_cast<std::size_t>(k)] * q[fidx(lev, k)];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace homme

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file euler.hpp
+/// euler_step — Table 1's most expensive kernel: the strong stability
+/// preserving (SSP) Runge-Kutta tracer advection step.
+///
+/// Each tracer's mass qdp obeys d(qdp)/dt = -div(u qdp) with the wind
+/// frozen over the subcycle. The three-stage SSP-RK3 scheme performs
+/// three RHS evaluations, each followed by DSS — the "3 sub-cycles edge
+/// packing/unpacking and boundary exchange" whose communication cost
+/// section 7.6 attacks with overlap.
+
+namespace homme {
+
+/// Advance all tracers of \p s by \p dt with SSP-RK3. If \p limit is
+/// true, apply a positivity limiter after each stage (clip negatives and
+/// rescale within the element to conserve tracer mass).
+void euler_step(const mesh::CubedSphere& m, const Dims& d, State& s,
+                double dt, bool limit = true);
+
+/// One advection RHS for a single element and tracer: out = -div(u q).
+void element_tracer_rhs(const mesh::ElementGeom& g, const Dims& d,
+                        const ElementState& es,
+                        std::span<const double> qdp, std::span<double> rhs);
+
+/// The element-local positivity limiter (exposed for tests): clips
+/// negative qdp values and rescales the positive ones so each element
+/// level conserves its tracer mass, when possible.
+void positivity_limiter(const mesh::ElementGeom& g, int nlev,
+                        std::span<double> qdp);
+
+/// Global tracer mass sum_q integral(qdp) dA (diagnostic).
+double tracer_mass(const mesh::CubedSphere& m, const Dims& d, const State& s,
+                   int tracer);
+
+}  // namespace homme

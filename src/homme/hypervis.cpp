@@ -1,0 +1,154 @@
+#include "homme/hypervis.hpp"
+
+#include <vector>
+
+#include "homme/dss.hpp"
+#include "homme/ops.hpp"
+
+namespace homme {
+
+using mesh::kNpp;
+
+namespace {
+
+/// Laplacian of a multi-level scalar field into out (no DSS).
+void laplacian_field(const mesh::CubedSphere& m, int nlev,
+                     std::span<double* const> field,
+                     std::span<double* const> out) {
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    for (int lev = 0; lev < nlev; ++lev) {
+      laplace_sphere_wk(g, field[static_cast<std::size_t>(e)] + fidx(lev, 0),
+                        out[static_cast<std::size_t>(e)] + fidx(lev, 0));
+    }
+  }
+}
+
+/// Workspace: per-element buffers with a pointer table.
+struct FieldBuf {
+  std::vector<std::vector<double>> data;
+  std::vector<double*> ptrs;
+  FieldBuf(int nelem, std::size_t fs)
+      : data(static_cast<std::size_t>(nelem)),
+        ptrs(static_cast<std::size_t>(nelem)) {
+    for (int e = 0; e < nelem; ++e) {
+      data[static_cast<std::size_t>(e)].assign(fs, 0.0);
+      ptrs[static_cast<std::size_t>(e)] =
+          data[static_cast<std::size_t>(e)].data();
+    }
+  }
+};
+
+/// Rotate the wind of every element to Cartesian components; returns
+/// three field buffers.
+void wind_to_cart(const mesh::CubedSphere& m, const Dims& d, const State& s,
+                  FieldBuf& x, FieldBuf& y, FieldBuf& z) {
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    const auto& g = m.geom(e);
+    for (int lev = 0; lev < d.nlev; ++lev) {
+      contra_to_cart(g, s[se].u1.data() + fidx(lev, 0),
+                     s[se].u2.data() + fidx(lev, 0),
+                     x.ptrs[se] + fidx(lev, 0), y.ptrs[se] + fidx(lev, 0),
+                     z.ptrs[se] + fidx(lev, 0));
+    }
+  }
+}
+
+void cart_to_wind(const mesh::CubedSphere& m, const Dims& d,
+                  const FieldBuf& x, const FieldBuf& y, const FieldBuf& z,
+                  State& s) {
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    const auto& g = m.geom(e);
+    for (int lev = 0; lev < d.nlev; ++lev) {
+      cart_to_contra(g, x.ptrs[se] + fidx(lev, 0),
+                     y.ptrs[se] + fidx(lev, 0), z.ptrs[se] + fidx(lev, 0),
+                     s[se].u1.data() + fidx(lev, 0),
+                     s[se].u2.data() + fidx(lev, 0));
+    }
+  }
+}
+
+}  // namespace
+
+void laplacian_update(const mesh::CubedSphere& m, int nlev,
+                      std::span<double* const> field, double coef) {
+  FieldBuf lap(m.nelem(), static_cast<std::size_t>(nlev) * kNpp);
+  laplacian_field(m, nlev, field, lap.ptrs);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    for (std::size_t f = 0; f < static_cast<std::size_t>(nlev) * kNpp; ++f) {
+      field[se][f] += coef * lap.data[se][f];
+    }
+  }
+  dss_levels(m, field, nlev);
+}
+
+void biharmonic_scalar(const mesh::CubedSphere& m, int nlev,
+                       std::span<double* const> field,
+                       std::span<double* const> out) {
+  FieldBuf lap1(m.nelem(), static_cast<std::size_t>(nlev) * kNpp);
+  laplacian_field(m, nlev, field, lap1.ptrs);
+  dss_levels(m, lap1.ptrs, nlev);
+  laplacian_field(m, nlev, lap1.ptrs, out);
+  dss_levels(m, out, nlev);
+}
+
+void hypervis_dp1(const mesh::CubedSphere& m, const Dims& d, State& s,
+                  double nu, double dt) {
+  const std::size_t fs = d.field_size();
+  FieldBuf ux(m.nelem(), fs), uy(m.nelem(), fs), uz(m.nelem(), fs);
+  wind_to_cart(m, d, s, ux, uy, uz);
+  laplacian_update(m, d.nlev, ux.ptrs, nu * dt);
+  laplacian_update(m, d.nlev, uy.ptrs, nu * dt);
+  laplacian_update(m, d.nlev, uz.ptrs, nu * dt);
+  cart_to_wind(m, d, ux, uy, uz, s);
+  auto Tp = field_ptrs(s, &ElementState::T);
+  laplacian_update(m, d.nlev, Tp, nu * dt);
+}
+
+void hypervis_dp2(const mesh::CubedSphere& m, const Dims& d, State& s,
+                  double nu, double dt) {
+  const std::size_t fs = d.field_size();
+  FieldBuf ux(m.nelem(), fs), uy(m.nelem(), fs), uz(m.nelem(), fs);
+  wind_to_cart(m, d, s, ux, uy, uz);
+  FieldBuf bi(m.nelem(), fs);
+  for (FieldBuf* comp : {&ux, &uy, &uz}) {
+    biharmonic_scalar(m, d.nlev, comp->ptrs, bi.ptrs);
+    for (int e = 0; e < m.nelem(); ++e) {
+      const std::size_t se = static_cast<std::size_t>(e);
+      for (std::size_t f = 0; f < fs; ++f) {
+        comp->data[se][f] -= nu * dt * bi.data[se][f];
+      }
+    }
+  }
+  cart_to_wind(m, d, ux, uy, uz, s);
+
+  auto Tp = field_ptrs(s, &ElementState::T);
+  biharmonic_scalar(m, d.nlev, Tp, bi.ptrs);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    for (std::size_t f = 0; f < fs; ++f) {
+      s[se].T[f] -= nu * dt * bi.data[se][f];
+    }
+  }
+  dss_levels(m, Tp, d.nlev);
+}
+
+void biharmonic_dp3d(const mesh::CubedSphere& m, const Dims& d, State& s,
+                     double nu, double dt) {
+  const std::size_t fs = d.field_size();
+  FieldBuf bi(m.nelem(), fs);
+  auto dpp = field_ptrs(s, &ElementState::dp);
+  biharmonic_scalar(m, d.nlev, dpp, bi.ptrs);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    for (std::size_t f = 0; f < fs; ++f) {
+      s[se].dp[f] -= nu * dt * bi.data[se][f];
+    }
+  }
+  dss_levels(m, dpp, d.nlev);
+}
+
+}  // namespace homme

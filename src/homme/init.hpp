@@ -1,0 +1,44 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file init.hpp
+/// Initial conditions for the dynamical core.
+///
+/// - isothermal_rest: exact discrete steady state (zero RHS); the
+///   sharpest correctness test for the pressure-gradient terms.
+/// - solid_body_rotation: balanced zonal flow (gradient-wind balance
+///   through the surface-pressure field); an exact steady state of the
+///   continuous equations.
+/// - baroclinic: solid-body flow plus a localized perturbation that
+///   spins up a realistic disturbance; used by the climatology and
+///   whole-model benches.
+
+namespace homme {
+
+/// T = T0, u = 0, ps = p0 everywhere, flat topography.
+State isothermal_rest(const mesh::CubedSphere& m, const Dims& d,
+                      double t0 = 300.0);
+
+/// Zonal solid-body flow u = u0 cos(lat) balanced by
+/// ps(lat) = p0 exp(-(u0^2 + 2 Omega R u0) sin^2(lat) / (2 Rd T0)).
+State solid_body_rotation(const mesh::CubedSphere& m, const Dims& d,
+                          double u0 = 20.0, double t0 = 300.0);
+
+/// Solid-body flow with a Gaussian temperature anomaly centred at
+/// (lon0, lat0) that seeds baroclinic development.
+State baroclinic(const mesh::CubedSphere& m, const Dims& d, double u0 = 20.0,
+                 double t0 = 300.0, double amp = 2.0, double lon0 = 0.0,
+                 double lat0 = 0.7, double width = 0.25);
+
+/// Set every tracer to a smooth positive field (cosine bells offset per
+/// tracer) times dp, for advection experiments.
+void init_tracers(const mesh::CubedSphere& m, const Dims& d, State& s);
+
+/// Convert an eastward/northward physical wind (m/s) at GLL point \p k of
+/// element geometry \p g into contravariant components.
+void wind_to_contra(const mesh::ElementGeom& g, int k, double u_east,
+                    double v_north, double& u1, double& u2);
+
+}  // namespace homme

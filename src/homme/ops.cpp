@@ -1,0 +1,175 @@
+#include "homme/ops.hpp"
+
+#include <cmath>
+
+#include "mesh/gll.hpp"
+
+namespace homme {
+
+using mesh::gidx;
+using mesh::kNp;
+using mesh::kNpp;
+
+void deriv_ref(const double* s, double* d1, double* d2) {
+  const auto& D = mesh::gll().deriv;
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += D[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] *
+              s[gidx(m, j)];
+        dy += D[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] *
+              s[gidx(i, m)];
+      }
+      d1[gidx(i, j)] = dx;
+      d2[gidx(i, j)] = dy;
+    }
+  }
+}
+
+void gradient_covariant(const double* s, double* d1, double* d2) {
+  deriv_ref(s, d1, d2);
+}
+
+void gradient_sphere(const mesh::ElementGeom& g, const double* s, double* g1,
+                     double* g2) {
+  double d1[kNpp], d2[kNpp];
+  deriv_ref(s, d1, d2);
+  for (int k = 0; k < kNpp; ++k) {
+    g1[k] = g.ginv11[static_cast<std::size_t>(k)] * d1[k] +
+            g.ginv12[static_cast<std::size_t>(k)] * d2[k];
+    g2[k] = g.ginv12[static_cast<std::size_t>(k)] * d1[k] +
+            g.ginv22[static_cast<std::size_t>(k)] * d2[k];
+  }
+}
+
+void divergence_sphere(const mesh::ElementGeom& g, const double* u1,
+                       const double* u2, double* div) {
+  const auto& D = mesh::gll().deriv;
+  double ju1[kNpp], ju2[kNpp];
+  for (int k = 0; k < kNpp; ++k) {
+    ju1[k] = g.jac[static_cast<std::size_t>(k)] * u1[k];
+    ju2[k] = g.jac[static_cast<std::size_t>(k)] * u2[k];
+  }
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += D[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] *
+              ju1[gidx(m, j)];
+        dy += D[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] *
+              ju2[gidx(i, m)];
+      }
+      const int k = gidx(i, j);
+      div[k] = (dx + dy) / g.jac[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+void vorticity_sphere(const mesh::ElementGeom& g, const double* u1,
+                      const double* u2, double* vort) {
+  const auto& D = mesh::gll().deriv;
+  // Covariant components: cov_i = g_ij u^j.
+  double cov1[kNpp], cov2[kNpp];
+  for (int k = 0; k < kNpp; ++k) {
+    cov1[k] = g.g11[static_cast<std::size_t>(k)] * u1[k] +
+              g.g12[static_cast<std::size_t>(k)] * u2[k];
+    cov2[k] = g.g12[static_cast<std::size_t>(k)] * u1[k] +
+              g.g22[static_cast<std::size_t>(k)] * u2[k];
+  }
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double dx = 0.0, dy = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        dx += D[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] *
+              cov2[gidx(m, j)];
+        dy += D[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] *
+              cov1[gidx(i, m)];
+      }
+      const int k = gidx(i, j);
+      vort[k] = (dx - dy) / g.jac[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+void laplace_sphere(const mesh::ElementGeom& g, const double* s,
+                    double* lap) {
+  double g1[kNpp], g2[kNpp];
+  gradient_sphere(g, s, g1, g2);
+  divergence_sphere(g, g1, g2, lap);
+}
+
+void laplace_sphere_wk(const mesh::ElementGeom& g, const double* s,
+                       double* lap) {
+  const auto& D = mesh::gll().deriv;
+  const auto& w = mesh::gll().weights;
+  // Contravariant flux F^a = J g^{ab} ds/dxi_b.
+  double d1[kNpp], d2[kNpp], f1[kNpp], f2[kNpp];
+  deriv_ref(s, d1, d2);
+  for (int k = 0; k < kNpp; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    f1[k] = g.jac[sk] * (g.ginv11[sk] * d1[k] + g.ginv12[sk] * d2[k]);
+    f2[k] = g.jac[sk] * (g.ginv12[sk] * d1[k] + g.ginv22[sk] * d2[k]);
+  }
+  // Weak divergence: lap(i,j) = -(1/(w_i w_j J)) *
+  //   [ sum_m D[m][i] w_m w_j F1(m,j) + sum_m D[m][j] w_i w_m F2(i,m) ].
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      double acc = 0.0;
+      for (int m = 0; m < kNp; ++m) {
+        acc += D[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)] *
+               w[static_cast<std::size_t>(m)] *
+               w[static_cast<std::size_t>(j)] * f1[gidx(m, j)];
+        acc += D[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)] *
+               w[static_cast<std::size_t>(i)] *
+               w[static_cast<std::size_t>(m)] * f2[gidx(i, m)];
+      }
+      const int k = gidx(i, j);
+      lap[k] = -acc / (w[static_cast<std::size_t>(i)] *
+                       w[static_cast<std::size_t>(j)] *
+                       g.jac[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+void contra_to_cart(const mesh::ElementGeom& g, const double* u1,
+                    const double* u2, double* ux, double* uy, double* uz) {
+  for (int k = 0; k < kNpp; ++k) {
+    const auto& a1 = g.a1[static_cast<std::size_t>(k)];
+    const auto& a2 = g.a2[static_cast<std::size_t>(k)];
+    ux[k] = u1[k] * a1[0] + u2[k] * a2[0];
+    uy[k] = u1[k] * a1[1] + u2[k] * a2[1];
+    uz[k] = u1[k] * a1[2] + u2[k] * a2[2];
+  }
+}
+
+void cart_to_contra(const mesh::ElementGeom& g, const double* ux,
+                    const double* uy, const double* uz, double* u1,
+                    double* u2) {
+  for (int k = 0; k < kNpp; ++k) {
+    const auto& b1 = g.b1[static_cast<std::size_t>(k)];
+    const auto& b2 = g.b2[static_cast<std::size_t>(k)];
+    u1[k] = ux[k] * b1[0] + uy[k] * b1[1] + uz[k] * b1[2];
+    u2[k] = ux[k] * b2[0] + uy[k] * b2[1] + uz[k] * b2[2];
+  }
+}
+
+void coriolis_vorticity_term(const mesh::ElementGeom& g,
+                             const double* absvort, const double* u1,
+                             const double* u2, double* t1, double* t2) {
+  double ux[kNpp], uy[kNpp], uz[kNpp];
+  contra_to_cart(g, u1, u2, ux, uy, uz);
+  double wx[kNpp], wy[kNpp], wz[kNpp];
+  const double r = std::sqrt(mesh::dot(g.pos[0], g.pos[0]));
+  for (int k = 0; k < kNpp; ++k) {
+    const auto& p = g.pos[static_cast<std::size_t>(k)];
+    // r_hat x U scaled by (zeta + f).
+    const double rx = p[0] / r, ry = p[1] / r, rz = p[2] / r;
+    wx[k] = absvort[k] * (ry * uz[k] - rz * uy[k]);
+    wy[k] = absvort[k] * (rz * ux[k] - rx * uz[k]);
+    wz[k] = absvort[k] * (rx * uy[k] - ry * ux[k]);
+  }
+  cart_to_contra(g, wx, wy, wz, t1, t2);
+}
+
+}  // namespace homme

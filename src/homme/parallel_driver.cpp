@@ -1,0 +1,357 @@
+#include "homme/parallel_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "homme/dss.hpp"
+#include "homme/euler.hpp"
+#include "homme/ops.hpp"
+#include "homme/remap.hpp"
+#include "homme/rhs.hpp"
+
+namespace homme {
+
+using mesh::kNpp;
+
+namespace {
+
+double smallest_gll_spacing(const mesh::CubedSphere& m) {
+  double best = std::numeric_limits<double>::max();
+  const auto& g = m.geom(0);
+  for (int j = 0; j < mesh::kNp; ++j) {
+    for (int i = 0; i + 1 < mesh::kNp; ++i) {
+      const auto& p = g.pos[static_cast<std::size_t>(mesh::gidx(i, j))];
+      const auto& q = g.pos[static_cast<std::size_t>(mesh::gidx(i + 1, j))];
+      best = std::min(best, std::sqrt((p[0] - q[0]) * (p[0] - q[0]) +
+                                      (p[1] - q[1]) * (p[1] - q[1]) +
+                                      (p[2] - q[2]) * (p[2] - q[2])));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ParallelDycore::ParallelDycore(const mesh::CubedSphere& m,
+                               const mesh::Partition& part,
+                               const mesh::CommPlan& plan, const Dims& d,
+                               DycoreConfig cfg, int rank,
+                               BndryExchange::Mode mode)
+    : mesh_(m), dims_(d), cfg_(cfg), mode_(mode),
+      bx_(m, part, plan, rank) {
+  const double dx = smallest_gll_spacing(m);
+  if (cfg_.dt <= 0.0) cfg_.dt = 0.25 * dx / 400.0;
+  if (cfg_.nu < 0.0) {
+    cfg_.nu = 0.01 * std::pow(dx, 4) / (97.4 * cfg_.dt);
+  }
+  stage1_.assign(static_cast<std::size_t>(bx_.nlocal()), ElementState(d));
+  stage2_.assign(static_cast<std::size_t>(bx_.nlocal()), ElementState(d));
+}
+
+State ParallelDycore::gather_local(const State& global) const {
+  State local;
+  local.reserve(static_cast<std::size_t>(bx_.nlocal()));
+  for (int le = 0; le < bx_.nlocal(); ++le) {
+    local.push_back(global[static_cast<std::size_t>(bx_.global_elem(le))]);
+  }
+  return local;
+}
+
+void ParallelDycore::scatter_local(const State& local, State& global) const {
+  for (int le = 0; le < bx_.nlocal(); ++le) {
+    global[static_cast<std::size_t>(bx_.global_elem(le))] =
+        local[static_cast<std::size_t>(le)];
+  }
+}
+
+void ParallelDycore::dss_state(net::Rank& r, State& s) {
+  auto u1p = field_ptrs(s, &ElementState::u1);
+  auto u2p = field_ptrs(s, &ElementState::u2);
+  auto Tp = field_ptrs(s, &ElementState::T);
+  auto dpp = field_ptrs(s, &ElementState::dp);
+  bx_.dss_vector_levels(r, u1p, u2p, dims_.nlev, mode_);
+  bx_.dss_levels(r, Tp, dims_.nlev, mode_);
+  bx_.dss_levels(r, dpp, dims_.nlev, mode_);
+}
+
+void ParallelDycore::rhs_stage(net::Rank& r, const State& base,
+                               const State& eval, double dt, State& out) {
+  ElementTend tend(dims_);
+  for (int le = 0; le < bx_.nlocal(); ++le) {
+    const std::size_t sle = static_cast<std::size_t>(le);
+    element_rhs(mesh_.geom(bx_.global_elem(le)), dims_, eval[sle], tend);
+    ElementState& o = out[sle];
+    const ElementState& b = base[sle];
+    for (std::size_t f = 0; f < dims_.field_size(); ++f) {
+      o.u1[f] = b.u1[f] + dt * tend.u1[f];
+      o.u2[f] = b.u2[f] + dt * tend.u2[f];
+      o.T[f] = b.T[f] + dt * tend.T[f];
+      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+    }
+    o.phis = b.phis;
+  }
+  dss_state(r, out);
+}
+
+void ParallelDycore::euler_stage(net::Rank& r, State& s, double dt) {
+  const std::size_t fs = dims_.field_size();
+  const int n = bx_.nlocal();
+  std::vector<std::vector<double>> q0(static_cast<std::size_t>(n)),
+      qs(static_cast<std::size_t>(n)), rhs(static_cast<std::size_t>(n));
+  std::vector<double*> qs_ptrs(static_cast<std::size_t>(n));
+  for (int le = 0; le < n; ++le) {
+    q0[static_cast<std::size_t>(le)].resize(fs);
+    qs[static_cast<std::size_t>(le)].resize(fs);
+    rhs[static_cast<std::size_t>(le)].resize(fs);
+    qs_ptrs[static_cast<std::size_t>(le)] =
+        qs[static_cast<std::size_t>(le)].data();
+  }
+
+  for (int q = 0; q < dims_.qsize; ++q) {
+    for (int le = 0; le < n; ++le) {
+      const std::size_t sle = static_cast<std::size_t>(le);
+      auto src = s[sle].q(q, dims_);
+      std::copy(src.begin(), src.end(), q0[sle].begin());
+      std::copy(src.begin(), src.end(), qs[sle].begin());
+    }
+    const double w[3][2] = {{0.0, 1.0}, {0.75, 0.25}, {1.0 / 3, 2.0 / 3}};
+    for (int stage = 0; stage < 3; ++stage) {
+      for (int le = 0; le < n; ++le) {
+        const std::size_t sle = static_cast<std::size_t>(le);
+        element_tracer_rhs(mesh_.geom(bx_.global_elem(le)), dims_, s[sle],
+                           qs[sle], rhs[sle]);
+        for (std::size_t f = 0; f < fs; ++f) {
+          qs[sle][f] =
+              w[stage][0] * q0[sle][f] +
+              w[stage][1] * (qs[sle][f] + dt * rhs[sle][f]);
+        }
+      }
+      bx_.dss_levels(r, qs_ptrs, dims_.nlev, mode_);
+      if (cfg_.limit_tracers) {
+        for (int le = 0; le < n; ++le) {
+          positivity_limiter(mesh_.geom(bx_.global_elem(le)), dims_.nlev,
+                             qs[static_cast<std::size_t>(le)]);
+        }
+      }
+    }
+    for (int le = 0; le < n; ++le) {
+      const std::size_t sle = static_cast<std::size_t>(le);
+      auto dst = s[sle].q(q, dims_);
+      std::copy(qs[sle].begin(), qs[sle].end(), dst.begin());
+    }
+  }
+}
+
+void ParallelDycore::hypervis(net::Rank& r, State& s) {
+  const std::size_t fs = dims_.field_size();
+  const int n = bx_.nlocal();
+  const double nu_dt = cfg_.nu * cfg_.dt;
+
+  // Scratch buffers with pointer tables.
+  auto make_buf = [&](std::vector<std::vector<double>>& data,
+                      std::vector<double*>& ptrs) {
+    data.assign(static_cast<std::size_t>(n), std::vector<double>(fs, 0.0));
+    ptrs.resize(static_cast<std::size_t>(n));
+    for (int le = 0; le < n; ++le) {
+      ptrs[static_cast<std::size_t>(le)] =
+          data[static_cast<std::size_t>(le)].data();
+    }
+  };
+
+  // Biharmonic of one per-element field set: lap -> DSS -> lap -> DSS.
+  auto biharm = [&](std::span<double* const> field,
+                    std::vector<std::vector<double>>& out_data,
+                    std::vector<double*>& out_ptrs) {
+    std::vector<std::vector<double>> lap1;
+    std::vector<double*> lap1p;
+    make_buf(lap1, lap1p);
+    for (int le = 0; le < n; ++le) {
+      const auto& g = mesh_.geom(bx_.global_elem(le));
+      for (int lev = 0; lev < dims_.nlev; ++lev) {
+        laplace_sphere_wk(g, field[static_cast<std::size_t>(le)] +
+                                 fidx(lev, 0),
+                          lap1p[static_cast<std::size_t>(le)] + fidx(lev, 0));
+      }
+    }
+    bx_.dss_levels(r, lap1p, dims_.nlev, mode_);
+    for (int le = 0; le < n; ++le) {
+      const auto& g = mesh_.geom(bx_.global_elem(le));
+      for (int lev = 0; lev < dims_.nlev; ++lev) {
+        laplace_sphere_wk(g, lap1p[static_cast<std::size_t>(le)] +
+                                 fidx(lev, 0),
+                          out_ptrs[static_cast<std::size_t>(le)] +
+                              fidx(lev, 0));
+      }
+    }
+    bx_.dss_levels(r, out_ptrs, dims_.nlev, mode_);
+    (void)out_data;
+  };
+
+  // Wind: rotate to Cartesian, biharmonic each component, rotate back.
+  std::vector<std::vector<double>> cx, cy, cz, bi;
+  std::vector<double*> px, py, pz, pbi;
+  make_buf(cx, px);
+  make_buf(cy, py);
+  make_buf(cz, pz);
+  make_buf(bi, pbi);
+  for (int le = 0; le < n; ++le) {
+    const std::size_t sle = static_cast<std::size_t>(le);
+    const auto& g = mesh_.geom(bx_.global_elem(le));
+    for (int lev = 0; lev < dims_.nlev; ++lev) {
+      contra_to_cart(g, s[sle].u1.data() + fidx(lev, 0),
+                     s[sle].u2.data() + fidx(lev, 0), px[sle] + fidx(lev, 0),
+                     py[sle] + fidx(lev, 0), pz[sle] + fidx(lev, 0));
+    }
+  }
+  for (auto* comp : {&px, &py, &pz}) {
+    biharm(*comp, bi, pbi);
+    for (int le = 0; le < n; ++le) {
+      const std::size_t sle = static_cast<std::size_t>(le);
+      for (std::size_t f = 0; f < fs; ++f) {
+        (*comp)[sle][f] -= nu_dt * bi[sle][f];
+      }
+    }
+  }
+  for (int le = 0; le < n; ++le) {
+    const std::size_t sle = static_cast<std::size_t>(le);
+    const auto& g = mesh_.geom(bx_.global_elem(le));
+    for (int lev = 0; lev < dims_.nlev; ++lev) {
+      cart_to_contra(g, px[sle] + fidx(lev, 0), py[sle] + fidx(lev, 0),
+                     pz[sle] + fidx(lev, 0),
+                     s[sle].u1.data() + fidx(lev, 0),
+                     s[sle].u2.data() + fidx(lev, 0));
+    }
+  }
+
+  // T and dp.
+  for (auto member : {&ElementState::T, &ElementState::dp}) {
+    auto fp = field_ptrs(s, member);
+    biharm(fp, bi, pbi);
+    for (int le = 0; le < n; ++le) {
+      const std::size_t sle = static_cast<std::size_t>(le);
+      for (std::size_t f = 0; f < fs; ++f) {
+        (s[sle].*member)[f] -= nu_dt * bi[sle][f];
+      }
+    }
+    bx_.dss_levels(r, fp, dims_.nlev, mode_);
+  }
+}
+
+void ParallelDycore::step(net::Rank& r, State& s) {
+  const double dt = cfg_.dt;
+
+  rhs_stage(r, s, s, dt, stage1_);
+  for (std::size_t e = 0; e < s.size(); ++e) stage1_[e].phis = s[e].phis;
+  rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    for (std::size_t f = 0; f < dims_.field_size(); ++f) {
+      stage1_[e].u1[f] = 0.75 * s[e].u1[f] + 0.25 * stage2_[e].u1[f];
+      stage1_[e].u2[f] = 0.75 * s[e].u2[f] + 0.25 * stage2_[e].u2[f];
+      stage1_[e].T[f] = 0.75 * s[e].T[f] + 0.25 * stage2_[e].T[f];
+      stage1_[e].dp[f] = 0.75 * s[e].dp[f] + 0.25 * stage2_[e].dp[f];
+    }
+  }
+  rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    for (std::size_t f = 0; f < dims_.field_size(); ++f) {
+      s[e].u1[f] = s[e].u1[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u1[f];
+      s[e].u2[f] = s[e].u2[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u2[f];
+      s[e].T[f] = s[e].T[f] / 3.0 + 2.0 / 3.0 * stage2_[e].T[f];
+      s[e].dp[f] = s[e].dp[f] / 3.0 + 2.0 / 3.0 * stage2_[e].dp[f];
+    }
+  }
+
+  if (dims_.qsize > 0) euler_stage(r, s, dt);
+  if (cfg_.hypervis_on) hypervis(r, s);
+
+  ++step_count_;
+  if (cfg_.remap_freq > 0 && step_count_ % cfg_.remap_freq == 0) {
+    remap_local(s);  // column-local: no communication
+  }
+}
+
+void ParallelDycore::remap_local(State& s) {
+  const HybridCoord hc = HybridCoord::uniform(dims_.nlev);
+  const int nlev = dims_.nlev;
+  std::vector<double> src(static_cast<std::size_t>(nlev)),
+      tgt(static_cast<std::size_t>(nlev)), col(static_cast<std::size_t>(nlev));
+  for (auto& es : s) {
+    for (int k = 0; k < kNpp; ++k) {
+      double ps = kPtop;
+      for (int lev = 0; lev < nlev; ++lev) {
+        src[static_cast<std::size_t>(lev)] = es.dp[fidx(lev, k)];
+        ps += es.dp[fidx(lev, k)];
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        tgt[static_cast<std::size_t>(lev)] = hc.dp_ref(lev, ps);
+      }
+      auto remap_field = [&](std::vector<double>& field) {
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] = field[fidx(lev, k)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
+        }
+      };
+      remap_field(es.u1);
+      remap_field(es.u2);
+      remap_field(es.T);
+      for (int q = 0; q < dims_.qsize; ++q) {
+        auto qf = es.q(q, dims_);
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] =
+              qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          qf[fidx(lev, k)] = col[static_cast<std::size_t>(lev)] *
+                             tgt[static_cast<std::size_t>(lev)];
+        }
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        es.dp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
+      }
+    }
+  }
+}
+
+Diagnostics ParallelDycore::diagnose(net::Rank& r, const State& s) const {
+  Diagnostics out;
+  out.min_dp = std::numeric_limits<double>::max();
+  out.max_t = -std::numeric_limits<double>::max();
+  out.min_t = std::numeric_limits<double>::max();
+  for (int le = 0; le < bx_.nlocal(); ++le) {
+    const std::size_t sle = static_cast<std::size_t>(le);
+    const auto& g = mesh_.geom(bx_.global_elem(le));
+    // Shared nodes are counted once per owning element, exactly as the
+    // sequential Dycore::diagnose does, so the sums agree.
+    for (int lev = 0; lev < dims_.nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        const std::size_t f = fidx(lev, k);
+        const double w = g.mass[static_cast<std::size_t>(k)];
+        const double u1 = s[sle].u1[f], u2 = s[sle].u2[f];
+        const double sp2 = g.g11[static_cast<std::size_t>(k)] * u1 * u1 +
+                           2.0 * g.g12[static_cast<std::size_t>(k)] * u1 * u2 +
+                           g.g22[static_cast<std::size_t>(k)] * u2 * u2;
+        out.dry_mass += w * s[sle].dp[f];
+        out.total_energy +=
+            w * s[sle].dp[f] * (kCp * s[sle].T[f] + 0.5 * sp2) / kGravity;
+        out.max_wind = std::max(out.max_wind, std::sqrt(sp2));
+        out.min_dp = std::min(out.min_dp, s[sle].dp[f]);
+        out.max_t = std::max(out.max_t, s[sle].T[f]);
+        out.min_t = std::min(out.min_t, s[sle].T[f]);
+      }
+    }
+  }
+  out.dry_mass = r.allreduce_sum(out.dry_mass);
+  out.total_energy = r.allreduce_sum(out.total_energy);
+  out.max_wind = r.allreduce_max(out.max_wind);
+  out.min_dp = r.allreduce_min(out.min_dp);
+  out.max_t = r.allreduce_max(out.max_t);
+  out.min_t = r.allreduce_min(out.min_t);
+  return out;
+}
+
+}  // namespace homme

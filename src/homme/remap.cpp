@@ -1,0 +1,147 @@
+#include "homme/remap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace homme {
+
+using mesh::kNpp;
+
+namespace {
+
+/// Fritsch-Carlson monotone cubic Hermite slopes for data (x_i, y_i).
+void monotone_slopes(std::span<const double> x, std::span<const double> y,
+                     std::span<double> m) {
+  const std::size_t n = x.size();
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    delta[i] = (y[i + 1] - y[i]) / (x[i + 1] - x[i]);
+  }
+  m[0] = delta[0];
+  m[n - 1] = delta[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    m[i] = (delta[i - 1] * delta[i] <= 0.0)
+               ? 0.0
+               : 0.5 * (delta[i - 1] + delta[i]);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (delta[i] == 0.0) {
+      m[i] = 0.0;
+      m[i + 1] = 0.0;
+      continue;
+    }
+    const double a = m[i] / delta[i];
+    const double b = m[i + 1] / delta[i];
+    const double s = a * a + b * b;
+    if (s > 9.0) {
+      const double tau = 3.0 / std::sqrt(s);
+      m[i] = tau * a * delta[i];
+      m[i + 1] = tau * b * delta[i];
+    }
+  }
+}
+
+/// Evaluate the monotone cubic at \p xq (monotone increasing x).
+double eval_hermite(std::span<const double> x, std::span<const double> y,
+                    std::span<const double> m, double xq) {
+  const std::size_t n = x.size();
+  if (xq <= x[0]) return y[0];
+  if (xq >= x[n - 1]) return y[n - 1];
+  // Binary search for the containing interval.
+  std::size_t lo =
+      static_cast<std::size_t>(std::upper_bound(x.begin(), x.end(), xq) -
+                               x.begin()) -
+      1;
+  const double h = x[lo + 1] - x[lo];
+  const double t = (xq - x[lo]) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y[lo] + h10 * h * m[lo] + h01 * y[lo + 1] + h11 * h * m[lo + 1];
+}
+
+}  // namespace
+
+void remap_column(std::span<const double> src_dp,
+                  std::span<const double> tgt_dp, std::span<double> q) {
+  const std::size_t n = src_dp.size();
+  assert(tgt_dp.size() == n && q.size() == n);
+
+  // Cumulative mass coordinate and cumulative integral of q.
+  std::vector<double> xs(n + 1), ys(n + 1), slopes(n + 1), xt(n + 1);
+  xs[0] = 0.0;
+  ys[0] = 0.0;
+  xt[0] = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    xs[k + 1] = xs[k] + src_dp[k];
+    ys[k + 1] = ys[k] + q[k] * src_dp[k];
+    xt[k + 1] = xt[k] + tgt_dp[k];
+  }
+  // The totals must agree (same column mass); tolerate roundoff.
+  assert(std::abs(xs[n] - xt[n]) <= 1e-8 * std::max(1.0, std::abs(xs[n])));
+
+  monotone_slopes(xs, ys, slopes);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cur =
+        (k + 1 == n) ? ys[n] : eval_hermite(xs, ys, slopes, xt[k + 1]);
+    q[k] = (cur - prev) / tgt_dp[k];
+    prev = cur;
+  }
+}
+
+void vertical_remap(const mesh::CubedSphere& m, const Dims& d, State& s) {
+  const HybridCoord hc = HybridCoord::uniform(d.nlev);
+  const int nlev = d.nlev;
+  std::vector<double> src(static_cast<std::size_t>(nlev)),
+      tgt(static_cast<std::size_t>(nlev)), col(static_cast<std::size_t>(nlev));
+
+  for (int e = 0; e < m.nelem(); ++e) {
+    ElementState& es = s[static_cast<std::size_t>(e)];
+    for (int k = 0; k < kNpp; ++k) {
+      double ps = kPtop;
+      for (int lev = 0; lev < nlev; ++lev) {
+        src[static_cast<std::size_t>(lev)] = es.dp[fidx(lev, k)];
+        ps += es.dp[fidx(lev, k)];
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        tgt[static_cast<std::size_t>(lev)] = hc.dp_ref(lev, ps);
+      }
+
+      auto remap_field = [&](std::vector<double>& field) {
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] = field[fidx(lev, k)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
+        }
+      };
+      remap_field(es.u1);
+      remap_field(es.u2);
+      remap_field(es.T);
+      for (int q = 0; q < d.qsize; ++q) {
+        // Tracers are carried as qdp; remap the mixing ratio and rebuild.
+        auto qf = es.q(q, d);
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] =
+              qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          qf[fidx(lev, k)] = col[static_cast<std::size_t>(lev)] *
+                             tgt[static_cast<std::size_t>(lev)];
+        }
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        es.dp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
+      }
+    }
+  }
+}
+
+}  // namespace homme

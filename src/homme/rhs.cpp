@@ -1,0 +1,169 @@
+#include "homme/rhs.hpp"
+
+#include <cassert>
+
+#include "homme/dss.hpp"
+#include "homme/ops.hpp"
+
+namespace homme {
+
+using mesh::kNpp;
+
+void column_pressure(int nlev, const double* dp, double* p_mid) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = kPtop;
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const double d = dp[fidx(lev, g)];
+      p_mid[fidx(lev, g)] = run[g] + 0.5 * d;
+      run[g] += d;
+    }
+  }
+}
+
+void column_geopotential(int nlev, const double* T, const double* dp,
+                         const double* p_mid, const double* phis,
+                         double* phi_mid) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = phis[g];
+  for (int lev = nlev - 1; lev >= 0; --lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const std::size_t k = fidx(lev, g);
+      const double half = 0.5 * kRgas * T[k] * dp[k] / p_mid[k];
+      phi_mid[k] = run[g] + half;
+      run[g] += 2.0 * half;
+    }
+  }
+}
+
+void column_omega(int nlev, const double* divdp, double* omega) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = 0.0;
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const std::size_t k = fidx(lev, g);
+      omega[k] = -(run[g] + 0.5 * divdp[k]);
+      run[g] += divdp[k];
+    }
+  }
+}
+
+void element_rhs(const mesh::ElementGeom& g, const Dims& d,
+                 const ElementState& eval, ElementTend& tend) {
+  const int nlev = d.nlev;
+  std::vector<double> p_mid(d.field_size()), phi_mid(d.field_size()),
+      divdp(d.field_size()), omega(d.field_size());
+
+  column_pressure(nlev, eval.dp.data(), p_mid.data());
+
+  // Moist dynamics: the hydrostatic and pressure-gradient terms see the
+  // virtual temperature Tv = T (1 + zvir q), with tracer 0 as specific
+  // humidity (q = qdp / dp), exactly as CAM couples moisture back.
+  std::vector<double> tv;
+  const double* t_for_phi = eval.T.data();
+  if (d.moist && d.qsize > 0) {
+    tv.resize(d.field_size());
+    auto q0 = eval.q(0, d);
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      tv[f] = eval.T[f] * (1.0 + kZvir * q0[f] / eval.dp[f]);
+    }
+    t_for_phi = tv.data();
+  }
+  column_geopotential(nlev, t_for_phi, eval.dp.data(), p_mid.data(),
+                      eval.phis.data(), phi_mid.data());
+
+  double vort[kNpp], absvort[kNpp], energy[kNpp];
+  double gE1[kNpp], gE2[kNpp];
+  double d1p[kNpp], d2p[kNpp];
+  double cor1[kNpp], cor2[kNpp];
+  double d1T[kNpp], d2T[kNpp];
+  double flux1[kNpp], flux2[kNpp];
+
+  for (int lev = 0; lev < nlev; ++lev) {
+    const double* u1 = eval.u1.data() + fidx(lev, 0);
+    const double* u2 = eval.u2.data() + fidx(lev, 0);
+    const double* T = eval.T.data() + fidx(lev, 0);
+    const double* Tv = t_for_phi + fidx(lev, 0);
+    const double* dp = eval.dp.data() + fidx(lev, 0);
+    const double* pm = p_mid.data() + fidx(lev, 0);
+    const double* phim = phi_mid.data() + fidx(lev, 0);
+
+    vorticity_sphere(g, u1, u2, vort);
+    for (int k = 0; k < kNpp; ++k) {
+      absvort[k] = vort[k] + g.coriolis[static_cast<std::size_t>(k)];
+      const double ke =
+          0.5 * (g.g11[static_cast<std::size_t>(k)] * u1[k] * u1[k] +
+                 2.0 * g.g12[static_cast<std::size_t>(k)] * u1[k] * u2[k] +
+                 g.g22[static_cast<std::size_t>(k)] * u2[k] * u2[k]);
+      energy[k] = ke + phim[k];
+    }
+    gradient_sphere(g, energy, gE1, gE2);
+    gradient_covariant(pm, d1p, d2p);
+    coriolis_vorticity_term(g, absvort, u1, u2, cor1, cor2);
+    gradient_covariant(T, d1T, d2T);
+
+    // Mass flux divergence.
+    for (int k = 0; k < kNpp; ++k) {
+      flux1[k] = dp[k] * u1[k];
+      flux2[k] = dp[k] * u2[k];
+    }
+    divergence_sphere(g, flux1, flux2, divdp.data() + fidx(lev, 0));
+
+    double* tu1 = tend.u1.data() + fidx(lev, 0);
+    double* tu2 = tend.u2.data() + fidx(lev, 0);
+    double* tT = tend.T.data() + fidx(lev, 0);
+    double* tdp = tend.dp.data() + fidx(lev, 0);
+    for (int k = 0; k < kNpp; ++k) {
+      const double rtp = kRgas * Tv[k] / pm[k];
+      const double gp1 = g.ginv11[static_cast<std::size_t>(k)] * d1p[k] +
+                         g.ginv12[static_cast<std::size_t>(k)] * d2p[k];
+      const double gp2 = g.ginv12[static_cast<std::size_t>(k)] * d1p[k] +
+                         g.ginv22[static_cast<std::size_t>(k)] * d2p[k];
+      tu1[k] = -cor1[k] - gE1[k] - rtp * gp1;
+      tu2[k] = -cor2[k] - gE2[k] - rtp * gp2;
+      // Advection of T: contravariant wind dotted with covariant gradient.
+      tT[k] = -(u1[k] * d1T[k] + u2[k] * d2T[k]);
+      tdp[k] = -divdp[fidx(lev, k)];
+    }
+  }
+
+  column_omega(nlev, divdp.data(), omega.data());
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t f = fidx(lev, k);
+      tend.T[f] += kKappa * t_for_phi[f] * omega[f] / p_mid[f];
+    }
+  }
+}
+
+void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
+                           const State& base, const State& eval, double dt,
+                           State& out) {
+  assert(base.size() == static_cast<std::size_t>(m.nelem()));
+  assert(eval.size() == base.size() && out.size() == base.size());
+
+  ElementTend tend(d);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    element_rhs(m.geom(e), d, eval[se], tend);
+    ElementState& o = out[se];
+    const ElementState& b = base[se];
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      o.u1[f] = b.u1[f] + dt * tend.u1[f];
+      o.u2[f] = b.u2[f] + dt * tend.u2[f];
+      o.T[f] = b.T[f] + dt * tend.T[f];
+      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+    }
+    o.phis = b.phis;
+  }
+
+  auto u1p = field_ptrs(out, &ElementState::u1);
+  auto u2p = field_ptrs(out, &ElementState::u2);
+  auto Tp = field_ptrs(out, &ElementState::T);
+  auto dpp = field_ptrs(out, &ElementState::dp);
+  dss_vector_levels(m, u1p, u2p, d.nlev);
+  dss_levels(m, Tp, d.nlev);
+  dss_levels(m, dpp, d.nlev);
+}
+
+}  // namespace homme

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file rhs.hpp
+/// compute_and_apply_rhs — the first key kernel of Table 1: "compute the
+/// RHS (right hand side), accumulate into velocity and apply DSS".
+///
+/// The dynamical core solves the hydrostatic primitive equations in
+/// vector-invariant form on floating Lagrangian levels:
+///   du/dt  = -(zeta + f) r_hat x u - grad(KE + Phi) - (R T / p) grad p
+///   dT/dt  = -u . grad T + kappa T omega / p
+///   ddp/dt = -div(dp u)
+/// Pressure and geopotential are vertical scans over the 128 layers (the
+/// data dependence that section 7.4 parallelizes with register
+/// communication); omega is a third scan over the accumulated divergence.
+
+namespace homme {
+
+/// Mid-level pressure from layer thickness: one 16-wide exclusive scan
+/// down the column plus dp/2. Tiles in fidx layout.
+void column_pressure(int nlev, const double* dp, double* p_mid);
+
+/// Mid-level geopotential: hydrostatic integral from the surface up
+/// (16-wide scan in the opposite direction).
+void column_geopotential(int nlev, const double* T, const double* dp,
+                         const double* p_mid, const double* phis,
+                         double* phi_mid);
+
+/// Pressure vertical velocity omega = Dp/Dt at mid levels from the
+/// accumulated horizontal mass-flux divergence (exclusive scan down).
+void column_omega(int nlev, const double* divdp, double* omega);
+
+/// Evaluate the RHS of one element into \p tend (no DSS).
+void element_rhs(const mesh::ElementGeom& g, const Dims& d,
+                 const ElementState& eval, ElementTend& tend);
+
+/// out = base + dt * RHS(eval), then DSS on u (as a vector field), T and
+/// dp — the full Table 1 kernel over the whole mesh.
+void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
+                           const State& base, const State& eval, double dt,
+                           State& out);
+
+}  // namespace homme

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "homme/dims.hpp"
+
+/// \file state.hpp
+/// Prognostic state of the spectral-element dynamical core.
+///
+/// Per element, per layer, per GLL point:
+///   u1, u2 : wind in contravariant components of the element's frame
+///   T      : temperature
+///   dp     : pressure thickness of the (floating Lagrangian) layer
+///   qdp    : tracer mass (q * dp) for each tracer
+/// plus the time-invariant surface geopotential phis.
+///
+/// Layout is [lev][gidx]: each level is a contiguous 16-double tile, so
+/// horizontal operators stream contiguous memory and the vertical scans
+/// of section 7.4 see a fixed stride of kNpp — the exact layout tension
+/// the paper's LDM redesign resolves.
+
+namespace homme {
+
+struct ElementState {
+  std::vector<double> u1, u2, T, dp;
+  std::vector<double> qdp;   ///< [q][lev][gidx]
+  std::vector<double> phis;  ///< [gidx]
+
+  ElementState() = default;
+  explicit ElementState(const Dims& d)
+      : u1(d.field_size(), 0.0),
+        u2(d.field_size(), 0.0),
+        T(d.field_size(), 0.0),
+        dp(d.field_size(), 0.0),
+        qdp(static_cast<std::size_t>(d.qsize) * d.field_size(), 0.0),
+        phis(mesh::kNpp, 0.0) {}
+
+  std::span<double> q(int tracer, const Dims& d) {
+    return {qdp.data() + static_cast<std::size_t>(tracer) * d.field_size(),
+            d.field_size()};
+  }
+  std::span<const double> q(int tracer, const Dims& d) const {
+    return {qdp.data() + static_cast<std::size_t>(tracer) * d.field_size(),
+            d.field_size()};
+  }
+};
+
+/// Dynamics tendencies (d/dt of u1, u2, T, dp).
+struct ElementTend {
+  std::vector<double> u1, u2, T, dp;
+
+  ElementTend() = default;
+  explicit ElementTend(const Dims& d)
+      : u1(d.field_size(), 0.0),
+        u2(d.field_size(), 0.0),
+        T(d.field_size(), 0.0),
+        dp(d.field_size(), 0.0) {}
+
+  void zero() {
+    std::fill(u1.begin(), u1.end(), 0.0);
+    std::fill(u2.begin(), u2.end(), 0.0);
+    std::fill(T.begin(), T.end(), 0.0);
+    std::fill(dp.begin(), dp.end(), 0.0);
+  }
+};
+
+/// Whole-domain state: one ElementState per element, element ids matching
+/// the mesh (or a rank's local list in distributed runs).
+using State = std::vector<ElementState>;
+
+/// Flat field index for layer \p lev, GLL point \p g.
+inline std::size_t fidx(int lev, int g) {
+  return static_cast<std::size_t>(lev) * mesh::kNpp +
+         static_cast<std::size_t>(g);
+}
+
+}  // namespace homme

@@ -1,0 +1,109 @@
+#include "mesh/geometry.hpp"
+
+#include <cmath>
+
+namespace mesh {
+
+namespace {
+
+struct FaceFrame {
+  Vec3 c;   ///< face center axis
+  Vec3 t1;  ///< alpha tangent
+  Vec3 t2;  ///< beta tangent
+};
+
+/// Orientation of the six cube faces. Any consistent set works: the
+/// topology builder identifies shared points by their coordinates, not by
+/// hand-coded edge tables.
+constexpr std::array<FaceFrame, 6> kFaces = {{
+    {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},    // +x
+    {{0, 1, 0}, {-1, 0, 0}, {0, 0, 1}},   // +y
+    {{-1, 0, 0}, {0, -1, 0}, {0, 0, 1}},  // -x
+    {{0, -1, 0}, {1, 0, 0}, {0, 0, 1}},   // -y
+    {{0, 0, 1}, {0, 1, 0}, {-1, 0, 0}},   // +z
+    {{0, 0, -1}, {0, 1, 0}, {1, 0, 0}},   // -z
+}};
+
+Vec3 axpy(double a, const Vec3& x, const Vec3& y) {
+  return {a * x[0] + y[0], a * x[1] + y[1], a * x[2] + y[2]};
+}
+
+}  // namespace
+
+Vec3 face_point(int face, double alpha, double beta, double radius) {
+  const FaceFrame& f = kFaces[static_cast<std::size_t>(face)];
+  const double u = std::tan(alpha), v = std::tan(beta);
+  Vec3 w = axpy(u, f.t1, axpy(v, f.t2, f.c));
+  const double n = std::sqrt(dot(w, w));
+  return {radius * w[0] / n, radius * w[1] / n, radius * w[2] / n};
+}
+
+ElementGeom element_geometry(int face, int ei, int ej, int ne,
+                             double radius) {
+  const GllBasis& b = gll();
+  const FaceFrame& f = kFaces[static_cast<std::size_t>(face)];
+  const double dab = (M_PI / 2.0) / ne;          // face-angle width of element
+  const double a0 = -M_PI / 4.0 + ei * dab;      // alpha at x = -1
+  const double b0 = -M_PI / 4.0 + ej * dab;      // beta at y = -1
+  const double dadx = dab / 2.0;                 // d(alpha)/d(ref x)
+
+  ElementGeom g;
+  for (int j = 0; j < kNp; ++j) {
+    for (int i = 0; i < kNp; ++i) {
+      const double alpha = a0 + (b.nodes[static_cast<std::size_t>(i)] + 1.0) * dadx;
+      const double beta = b0 + (b.nodes[static_cast<std::size_t>(j)] + 1.0) * dadx;
+      const double u = std::tan(alpha), v = std::tan(beta);
+      const double seca2 = 1.0 + u * u;  // sec^2(alpha)
+      const double secb2 = 1.0 + v * v;
+
+      Vec3 w = axpy(u, f.t1, axpy(v, f.t2, f.c));
+      const double n2 = dot(w, w);
+      const double n = std::sqrt(n2);
+      const int k = gidx(i, j);
+
+      g.pos[k] = {radius * w[0] / n, radius * w[1] / n, radius * w[2] / n};
+
+      // dP/dalpha = R * (w_a / n - w (w . w_a) / n^3), w_a = sec^2(a) t1.
+      const double wa_dot_w = seca2 * dot(f.t1, w);
+      const double wb_dot_w = secb2 * dot(f.t2, w);
+      Vec3 dPda, dPdb;
+      for (int d = 0; d < 3; ++d) {
+        dPda[d] = radius * (seca2 * f.t1[d] / n - w[d] * wa_dot_w / (n2 * n));
+        dPdb[d] = radius * (secb2 * f.t2[d] / n - w[d] * wb_dot_w / (n2 * n));
+      }
+      // Chain to reference coordinates x, y in [-1, 1].
+      for (int d = 0; d < 3; ++d) {
+        g.a1[k][d] = dPda[d] * dadx;
+        g.a2[k][d] = dPdb[d] * dadx;
+      }
+
+      const double g11 = dot(g.a1[k], g.a1[k]);
+      const double g12 = dot(g.a1[k], g.a2[k]);
+      const double g22 = dot(g.a2[k], g.a2[k]);
+      const double det = g11 * g22 - g12 * g12;
+      g.g11[k] = g11;
+      g.g12[k] = g12;
+      g.g22[k] = g22;
+      g.jac[k] = std::sqrt(det);
+      g.ginv11[k] = g22 / det;
+      g.ginv12[k] = -g12 / det;
+      g.ginv22[k] = g11 / det;
+
+      // Dual basis: b^i . a_j = delta_ij.
+      for (int d = 0; d < 3; ++d) {
+        g.b1[k][d] = (g22 * g.a1[k][d] - g12 * g.a2[k][d]) / det;
+        g.b2[k][d] = (g11 * g.a2[k][d] - g12 * g.a1[k][d]) / det;
+      }
+
+      g.lat[k] = std::asin(g.pos[k][2] / radius);
+      g.lon[k] = std::atan2(g.pos[k][1], g.pos[k][0]);
+      g.coriolis[k] = 2.0 * kOmega * std::sin(g.lat[k]);
+      g.mass[k] = b.weights[static_cast<std::size_t>(i)] *
+                  b.weights[static_cast<std::size_t>(j)] * g.jac[k];
+      g.rmass[k] = 1.0 / g.mass[k];
+    }
+  }
+  return g;
+}
+
+}  // namespace mesh

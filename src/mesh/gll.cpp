@@ -1,0 +1,62 @@
+#include "mesh/gll.hpp"
+
+#include <cmath>
+
+namespace mesh {
+
+namespace {
+
+/// Barycentric weights for the node set.
+std::array<double, kNp> bary_weights(const std::array<double, kNp>& x) {
+  std::array<double, kNp> w{};
+  for (int j = 0; j < kNp; ++j) {
+    double p = 1.0;
+    for (int k = 0; k < kNp; ++k) {
+      if (k != j) p *= (x[j] - x[k]);
+    }
+    w[j] = 1.0 / p;
+  }
+  return w;
+}
+
+GllBasis build() {
+  GllBasis b;
+  // np = 4 GLL nodes: +-1 and +-1/sqrt(5); weights 1/6 and 5/6.
+  const double s = 1.0 / std::sqrt(5.0);
+  b.nodes = {-1.0, -s, s, 1.0};
+  b.weights = {1.0 / 6.0, 5.0 / 6.0, 5.0 / 6.0, 1.0 / 6.0};
+
+  // Collocation derivative matrix from the barycentric form:
+  // D[i][j] = (w_j / w_i) / (x_i - x_j) for i != j,
+  // D[i][i] = -sum_{j != i} D[i][j].
+  const auto w = bary_weights(b.nodes);
+  for (int i = 0; i < kNp; ++i) {
+    double diag = 0.0;
+    for (int j = 0; j < kNp; ++j) {
+      if (i == j) continue;
+      b.deriv[i][j] = (w[j] / w[i]) / (b.nodes[i] - b.nodes[j]);
+      diag -= b.deriv[i][j];
+    }
+    b.deriv[i][i] = diag;
+  }
+  return b;
+}
+
+}  // namespace
+
+double GllBasis::cardinal(int j, double x) const {
+  double num = 1.0, den = 1.0;
+  for (int k = 0; k < kNp; ++k) {
+    if (k == j) continue;
+    num *= (x - nodes[k]);
+    den *= (nodes[j] - nodes[k]);
+  }
+  return num / den;
+}
+
+const GllBasis& gll() {
+  static const GllBasis basis = build();
+  return basis;
+}
+
+}  // namespace mesh

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+
+/// \file gll.hpp
+/// Gauss-Lobatto-Legendre basis for the spectral element method.
+///
+/// CAM-SE discretizes each cubed-sphere element with an np x np tensor
+/// grid of GLL points; the paper's configuration (Figure 2: "a 4 by 4
+/// grid at each level") uses np = 4, i.e. 3rd-degree polynomials. The
+/// quadrature is exact through degree 2*np-3 = 5 and the collocation
+/// derivative matrix below realizes all horizontal operators.
+
+namespace mesh {
+
+/// GLL points per element edge (CAM-SE / paper configuration).
+inline constexpr int kNp = 4;
+
+/// The 1D GLL basis: nodes, quadrature weights, and the collocation
+/// derivative matrix deriv[i][j] = dL_j/dx evaluated at node i.
+struct GllBasis {
+  std::array<double, kNp> nodes;
+  std::array<double, kNp> weights;
+  std::array<std::array<double, kNp>, kNp> deriv;
+
+  /// Evaluate the j-th Lagrange cardinal function at x.
+  double cardinal(int j, double x) const;
+};
+
+/// The basis is fully determined by kNp; built once, cached.
+const GllBasis& gll();
+
+}  // namespace mesh

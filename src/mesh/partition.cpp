@@ -1,0 +1,97 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mesh {
+
+long long hilbert_d(int order, int x, int y) {
+  long long rx, ry, d = 0;
+  for (long long s = 1LL << (order - 1); s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<int>(s - 1 - x);
+        y = static_cast<int>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+Partition Partition::build(const CubedSphere& mesh, int nranks) {
+  const int ne = mesh.ne();
+  int order = 0;
+  while ((1 << order) < ne) ++order;
+  if (order == 0) order = 1;
+
+  // Elements in SFC order: faces concatenated, Hilbert order within each.
+  std::vector<std::pair<long long, int>> keyed;
+  keyed.reserve(static_cast<std::size_t>(mesh.nelem()));
+  for (int e = 0; e < mesh.nelem(); ++e) {
+    const auto [face, ei, ej] = mesh.elem_coords(e);
+    const long long face_span = (1LL << order) * (1LL << order);
+    keyed.emplace_back(face * face_span + hilbert_d(order, ei, ej), e);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  Partition p;
+  p.nranks = nranks;
+  p.elem_rank.resize(static_cast<std::size_t>(mesh.nelem()));
+  p.rank_elems.resize(static_cast<std::size_t>(nranks));
+  const int n = mesh.nelem();
+  const int base = n / nranks;
+  const int extra = n % nranks;
+  std::size_t pos = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const int count = base + (r < extra ? 1 : 0);
+    for (int c = 0; c < count; ++c, ++pos) {
+      const int e = keyed[pos].second;
+      p.elem_rank[static_cast<std::size_t>(e)] = r;
+      p.rank_elems[static_cast<std::size_t>(r)].push_back(e);
+    }
+  }
+  return p;
+}
+
+CommPlan CommPlan::build(const CubedSphere& mesh, const Partition& part) {
+  CommPlan plan;
+  plan.per_rank.resize(static_cast<std::size_t>(part.nranks));
+
+  // node -> set of ranks touching it.
+  std::map<std::pair<int, int>, std::set<int>> pair_nodes;  // (r1<r2) -> nodes
+  for (int node = 0; node < mesh.nnodes(); ++node) {
+    std::set<int> ranks;
+    for (const auto& [e, idx] : mesh.node_elems(node)) {
+      ranks.insert(part.owner(e));
+    }
+    if (ranks.size() < 2) continue;
+    for (auto it1 = ranks.begin(); it1 != ranks.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != ranks.end(); ++it2) {
+        pair_nodes[{*it1, *it2}].insert(node);
+      }
+    }
+  }
+
+  std::vector<std::map<int, std::vector<int>>> nb(
+      static_cast<std::size_t>(part.nranks));
+  for (const auto& [pr, nodes] : pair_nodes) {
+    std::vector<int> sorted(nodes.begin(), nodes.end());
+    nb[static_cast<std::size_t>(pr.first)][pr.second] = sorted;
+    nb[static_cast<std::size_t>(pr.second)][pr.first] = sorted;
+  }
+  for (int r = 0; r < part.nranks; ++r) {
+    for (auto& [other, nodes] : nb[static_cast<std::size_t>(r)]) {
+      plan.per_rank[static_cast<std::size_t>(r)].push_back(
+          Neighbor{other, std::move(nodes)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace mesh

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+
+/// \file partition.hpp
+/// Space-filling-curve domain decomposition, as CAM-SE uses to assign
+/// cubed-sphere elements to MPI processes, plus the node-sharing
+/// communication plan consumed by bndry_exchangev.
+
+namespace mesh {
+
+/// Assignment of elements to ranks along a per-face Hilbert curve:
+/// contiguous curve chunks give compact, low-surface partitions, which is
+/// what makes most halo traffic stay inside a supernode on TaihuLight.
+struct Partition {
+  int nranks = 0;
+  std::vector<int> elem_rank;                ///< element -> owning rank
+  std::vector<std::vector<int>> rank_elems;  ///< rank -> elements, SFC order
+
+  static Partition build(const CubedSphere& mesh, int nranks);
+
+  int owner(int elem) const {
+    return elem_rank[static_cast<std::size_t>(elem)];
+  }
+};
+
+/// The communication plan of one rank pair: the globally-sorted list of
+/// nodes shared between the two ranks' elements. Both sides build the
+/// same list, so exchanged buffers line up without further handshaking.
+struct CommPlan {
+  struct Neighbor {
+    int rank;
+    std::vector<int> nodes;  ///< shared global node ids, ascending
+  };
+  /// per_rank[r] = neighbors of rank r, ascending by rank id.
+  std::vector<std::vector<Neighbor>> per_rank;
+
+  static CommPlan build(const CubedSphere& mesh, const Partition& part);
+};
+
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid.
+/// Exposed for testing.
+long long hilbert_d(int order, int x, int y);
+
+}  // namespace mesh

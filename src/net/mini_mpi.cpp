@@ -1,0 +1,187 @@
+#include "net/mini_mpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace net {
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+void Rank::send(int dst, int tag, std::span<const double> data) {
+  assert(dst >= 0 && dst < size_);
+  cluster_->deposit(dst,
+                    Cluster::Message{rank_, tag,
+                                     std::vector<double>(data.begin(),
+                                                         data.end())});
+}
+
+Request Rank::isend(int dst, int tag, std::span<const double> data) {
+  send(dst, tag, data);
+  return Request{};  // buffered: already complete
+}
+
+void Rank::recv(int src, int tag, std::span<double> out) {
+  auto msg = cluster_->retrieve(rank_, src, tag);
+  if (msg.payload.size() != out.size()) {
+    throw std::runtime_error("mini_mpi: message length mismatch (got " +
+                             std::to_string(msg.payload.size()) +
+                             ", expected " + std::to_string(out.size()) +
+                             ")");
+  }
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+}
+
+Request Rank::irecv(int src, int tag, std::span<double> out) {
+  Request r;
+  r.is_recv_ = true;
+  r.src_ = src;
+  r.tag_ = tag;
+  r.out_ = out;
+  r.done_ = false;
+  return r;
+}
+
+void Rank::wait(Request& req) {
+  if (req.done_) return;
+  recv(req.src_, req.tag_, req.out_);
+  req.done_ = true;
+}
+
+void Rank::wait_all(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Rank::barrier() { (void)allreduce_sum(0.0); }
+
+double Rank::allreduce_sum(double value) {
+  // Generation-counted rendezvous. A rank can only join generation n+1
+  // after leaving generation n, so coll_result_ for generation n stays
+  // valid until every rank has read it.
+  Cluster& c = *cluster_;
+  std::unique_lock<std::mutex> lock(c.coll_mu_);
+  const std::uint64_t my_gen = c.coll_generation_;
+  if (c.coll_arrived_ == 0) c.coll_acc_ = 0.0;
+  c.coll_acc_ += value;
+  c.coll_arrived_ += 1;
+  if (c.coll_arrived_ == size_) {
+    c.coll_result_ = c.coll_acc_;
+    c.coll_arrived_ = 0;
+    c.coll_generation_ += 1;
+    c.coll_cv_.notify_all();
+    return c.coll_result_;
+  }
+  c.coll_cv_.wait(lock, [&] { return c.coll_generation_ != my_gen; });
+  return c.coll_result_;
+}
+
+double Rank::allreduce_max(double value) {
+  auto all = allgather(value);
+  return *std::max_element(all.begin(), all.end());
+}
+
+double Rank::allreduce_min(double value) {
+  auto all = allgather(value);
+  return *std::min_element(all.begin(), all.end());
+}
+
+std::vector<double> Rank::allgather(double value) {
+  // Simple two-phase: everyone sends to everyone via mailboxes with a
+  // reserved tag, then receives size-1 values. A barrier on each side
+  // isolates concurrent allgathers.
+  constexpr int kTag = -424242;
+  barrier();
+  for (int dst = 0; dst < size_; ++dst) {
+    if (dst != rank_) send(dst, kTag, std::span<const double>(&value, 1));
+  }
+  std::vector<double> out(static_cast<std::size_t>(size_));
+  out[static_cast<std::size_t>(rank_)] = value;
+  for (int src = 0; src < size_; ++src) {
+    if (src != rank_) {
+      recv(src, kTag,
+           std::span<double>(&out[static_cast<std::size_t>(src)], 1));
+    }
+  }
+  barrier();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(int nranks) : nranks_(nranks) {
+  if (nranks < 1) throw std::invalid_argument("Cluster needs >= 1 rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::deposit(int dst, Message msg) {
+  Mailbox& box = mailbox(dst);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Cluster::Message Cluster::retrieve(int self, int src, int tag) {
+  Mailbox& box = mailbox(self);
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message msg = std::move(*it);
+        box.messages.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Cluster::run(const std::function<void(Rank&)>& fn) {
+  // Fresh collective state per run.
+  coll_arrived_ = 0;
+  coll_generation_ = 0;
+  coll_acc_ = 0.0;
+  coll_result_ = 0.0;
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->messages.clear();
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Rank rank;
+      rank.cluster_ = this;
+      rank.rank_ = r;
+      rank.size_ = nranks_;
+      try {
+        fn(rank);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Unblock peers waiting on collectives so the join terminates.
+        coll_cv_.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace net

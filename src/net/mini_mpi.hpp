@@ -1,0 +1,124 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+/// \file mini_mpi.hpp
+/// An in-process message-passing runtime with MPI-shaped semantics.
+///
+/// TaihuLight programs follow "MPI + X": one MPI process per core group,
+/// Athread/OpenACC inside. We reproduce the MPI layer with a small
+/// threaded runtime so that the multi-rank algorithms of the paper —
+/// above all the redesigned bndry_exchangev with computation/communication
+/// overlap (section 7.6) — run *functionally* at small rank counts and can
+/// be tested for equivalence against their sequential references.
+/// Machine-scale communication cost comes from the analytic model in
+/// network_model.hpp instead.
+
+namespace net {
+
+class Cluster;
+
+/// A posted nonblocking operation. Sends are buffered and complete
+/// immediately; receives complete when a matching message arrives.
+class Request {
+ public:
+  Request() = default;
+
+ private:
+  friend class Rank;
+  bool is_recv_ = false;
+  int src_ = -1;
+  int tag_ = 0;
+  std::span<double> out_{};
+  bool done_ = true;
+};
+
+/// The per-process communication handle passed to every rank function.
+class Rank {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Buffered standard send: copies \p data and returns immediately.
+  void send(int dst, int tag, std::span<const double> data);
+  /// Nonblocking send (buffered, completes immediately; kept for API
+  /// parity with the CAM communication code).
+  Request isend(int dst, int tag, std::span<const double> data);
+  /// Blocking receive into \p out (must match the sent length).
+  void recv(int src, int tag, std::span<double> out);
+  /// Nonblocking receive; complete it with wait().
+  Request irecv(int src, int tag, std::span<double> out);
+  void wait(Request& req);
+  void wait_all(std::span<Request> reqs);
+
+  void barrier();
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  double allreduce_min(double value);
+  /// Gather one double from every rank (result valid on all ranks).
+  std::vector<double> allgather(double value);
+
+ private:
+  friend class Cluster;
+  Cluster* cluster_ = nullptr;
+  int rank_ = 0;
+  int size_ = 0;
+};
+
+/// A set of ranks executed on real threads. Construct, then run() a rank
+/// function; exceptions thrown by any rank are rethrown from run().
+class Cluster {
+ public:
+  explicit Cluster(int nranks);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return nranks_; }
+
+  /// Execute \p fn as every rank, in parallel, and join.
+  void run(const std::function<void(Rank&)>& fn);
+
+ private:
+  friend class Rank;
+
+  struct Message {
+    int src;
+    int tag;
+    std::vector<double> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+
+  void deposit(int dst, Message msg);
+  Message retrieve(int self, int src, int tag);
+
+  // Barrier / reduction rendezvous state.
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int coll_arrived_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  double coll_acc_ = 0.0;
+  double coll_result_ = 0.0;
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace net

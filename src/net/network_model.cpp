@@ -1,0 +1,17 @@
+#include "net/network_model.hpp"
+
+#include <cmath>
+
+namespace net {
+
+double NetworkModel::allreduce_seconds(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(nranks)));
+  const bool crosses_supernodes =
+      nranks > p_.procs_per_supernode * p_.cgs_per_proc;
+  const double a =
+      crosses_supernodes ? p_.alpha_inter_super_s : p_.alpha_intra_super_s;
+  return depth * (a + static_cast<double>(bytes) / p_.node_injection_bw);
+}
+
+}  // namespace net

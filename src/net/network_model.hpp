@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file network_model.hpp
+/// Analytic cost model of the Sunway TaihuLight interconnect.
+///
+/// The machine uses a two-level network (section 5.1 of the paper): inside
+/// a supernode 256 processors are fully connected through a customized
+/// network board; across supernodes traffic goes through central switches.
+/// Each processor hosts 4 core groups = 4 MPI processes. Point-to-point
+/// cost is the classic alpha-beta (latency + bytes/bandwidth) model with a
+/// level-dependent latency, plus an injection-bandwidth cap per node.
+///
+/// All machine-scale communication times in the scaling benches (Figures
+/// 6-8, Table 3) come from this model composed with kernel costs measured
+/// on the functional simulator.
+
+namespace net {
+
+struct NetworkParams {
+  double alpha_intra_node_s = 6.0e-7;   ///< CG-to-CG inside one processor
+  double alpha_intra_super_s = 1.5e-6;  ///< within a supernode (one board hop)
+  double alpha_inter_super_s = 4.5e-6;  ///< through the central switches
+  double node_injection_bw = 8.0e9;     ///< bytes/s in+out per processor
+  int procs_per_supernode = 256;        ///< processors behind one board
+  int cgs_per_proc = 4;                 ///< MPI ranks per processor
+};
+
+/// Maps ranks to the physical hierarchy and prices messages.
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams p = {}) : p_(p) {}
+
+  const NetworkParams& params() const { return p_; }
+
+  int processor_of(int rank) const { return rank / p_.cgs_per_proc; }
+  int supernode_of(int rank) const {
+    return processor_of(rank) / p_.procs_per_supernode;
+  }
+
+  /// Latency class of a point-to-point message between two ranks.
+  double alpha(int rank_a, int rank_b) const {
+    if (processor_of(rank_a) == processor_of(rank_b)) {
+      return p_.alpha_intra_node_s;
+    }
+    if (supernode_of(rank_a) == supernode_of(rank_b)) {
+      return p_.alpha_intra_super_s;
+    }
+    return p_.alpha_inter_super_s;
+  }
+
+  /// Time for one point-to-point message.
+  double pt2pt_seconds(int rank_a, int rank_b, std::size_t bytes) const {
+    return alpha(rank_a, rank_b) +
+           static_cast<double>(bytes) / p_.node_injection_bw;
+  }
+
+  /// Time for one halo exchange performed by a single rank: it sends and
+  /// receives \p bytes_per_neighbor to each of \p nneighbors neighbors.
+  /// With an SFC partition most neighbors are topologically close; the
+  /// \p remote_fraction of them pay the inter-supernode latency. Messages
+  /// to distinct neighbors pipeline, but the node injection bandwidth is
+  /// shared, so the bandwidth term sums over neighbors (both directions).
+  double halo_exchange_seconds(int nneighbors, std::size_t bytes_per_neighbor,
+                               double remote_fraction) const {
+    const double a =
+        p_.alpha_intra_super_s * (1.0 - remote_fraction) +
+        p_.alpha_inter_super_s * remote_fraction;
+    const double bw_time = 2.0 * static_cast<double>(nneighbors) *
+                           static_cast<double>(bytes_per_neighbor) /
+                           (p_.node_injection_bw /
+                            static_cast<double>(p_.cgs_per_proc));
+    return a + bw_time;
+  }
+
+  /// Latency of a machine-wide reduction over \p nranks ranks
+  /// (binary-tree depth times the dominant latency class).
+  double allreduce_seconds(int nranks, std::size_t bytes) const;
+
+ private:
+  NetworkParams p_;
+};
+
+}  // namespace net

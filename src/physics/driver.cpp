@@ -1,0 +1,113 @@
+#include "physics/driver.hpp"
+
+#include <cmath>
+
+#include "homme/init.hpp"
+#include "homme/ops.hpp"
+#include "homme/rhs.hpp"
+
+namespace phys {
+
+using homme::fidx;
+using mesh::kNpp;
+
+PhysicsDriver::PhysicsDriver(const mesh::CubedSphere& m,
+                             const homme::Dims& d, PhysicsConfig cfg)
+    : mesh_(m), dims_(d), cfg_(std::move(cfg)) {}
+
+Column PhysicsDriver::extract_column(const homme::State& s, int e,
+                                     int k) const {
+  const std::size_t se = static_cast<std::size_t>(e);
+  const std::size_t sk = static_cast<std::size_t>(k);
+  const auto& g = mesh_.geom(e);
+  Column c(dims_.nlev);
+  c.lat = g.lat[sk];
+  c.lon = g.lon[sk];
+  c.sst = cfg_.sst(c.lat, c.lon);
+
+  // Physical east/north wind from contravariant components.
+  const double ex = -std::sin(c.lon), ey = std::cos(c.lon);
+  const double nx = -std::sin(c.lat) * std::cos(c.lon);
+  const double ny = -std::sin(c.lat) * std::sin(c.lon);
+  const double nz = std::cos(c.lat);
+
+  c.ps = homme::kPtop;
+  const bool has_q = dims_.qsize > 0;
+  auto qf = has_q ? s[se].q(0, dims_)
+                  : std::span<const double>{};
+  for (int lev = 0; lev < dims_.nlev; ++lev) {
+    const std::size_t f = fidx(lev, k);
+    c.t[static_cast<std::size_t>(lev)] = s[se].T[f];
+    c.dp[static_cast<std::size_t>(lev)] = s[se].dp[f];
+    c.q[static_cast<std::size_t>(lev)] =
+        has_q ? qf[f] / s[se].dp[f] : 0.0;
+    const double u1 = s[se].u1[f], u2 = s[se].u2[f];
+    const double ux = u1 * g.a1[sk][0] + u2 * g.a2[sk][0];
+    const double uy = u1 * g.a1[sk][1] + u2 * g.a2[sk][1];
+    const double uz = u1 * g.a1[sk][2] + u2 * g.a2[sk][2];
+    c.u[static_cast<std::size_t>(lev)] = ux * ex + uy * ey;
+    c.v[static_cast<std::size_t>(lev)] = ux * nx + uy * ny + uz * nz;
+    c.ps += s[se].dp[f];
+  }
+  // Mid-level pressures.
+  double run = homme::kPtop;
+  for (int lev = 0; lev < dims_.nlev; ++lev) {
+    c.p[static_cast<std::size_t>(lev)] =
+        run + 0.5 * c.dp[static_cast<std::size_t>(lev)];
+    run += c.dp[static_cast<std::size_t>(lev)];
+  }
+  return c;
+}
+
+void PhysicsDriver::restore_column(const Column& c, homme::State& s, int e,
+                                   int k) const {
+  const std::size_t se = static_cast<std::size_t>(e);
+  const auto& g = mesh_.geom(e);
+  const bool has_q = dims_.qsize > 0;
+  auto qf = has_q ? s[se].q(0, dims_) : std::span<double>{};
+  for (int lev = 0; lev < dims_.nlev; ++lev) {
+    const std::size_t f = fidx(lev, k);
+    s[se].T[f] = c.t[static_cast<std::size_t>(lev)];
+    if (has_q) qf[f] = c.q[static_cast<std::size_t>(lev)] * s[se].dp[f];
+    double u1, u2;
+    homme::wind_to_contra(g, k, c.u[static_cast<std::size_t>(lev)],
+                          c.v[static_cast<std::size_t>(lev)], u1, u2);
+    s[se].u1[f] = u1;
+    s[se].u2[f] = u2;
+  }
+}
+
+PhysicsStats PhysicsDriver::step(homme::State& s, double dt) {
+  PhysicsStats out;
+  out.olr_field.assign(
+      static_cast<std::size_t>(mesh_.nelem()) * kNpp, 0.0);
+  double area = 0.0;
+  for (int e = 0; e < mesh_.nelem(); ++e) {
+    const auto& g = mesh_.geom(e);
+    for (int k = 0; k < kNpp; ++k) {
+      Column c = extract_column(s, e, k);
+      ColumnDiag diag;
+      if (cfg_.radiation) gray_radiation(cfg_.rad, c, dt, diag);
+      if (cfg_.convection) dry_adjustment(c);
+      if (cfg_.condensation) large_scale_condensation(c, dt, diag);
+      if (cfg_.surface_pbl) surface_and_pbl(cfg_.sfc, c, dt, diag);
+      restore_column(c, s, e, k);
+
+      const double w = g.mass[static_cast<std::size_t>(k)];
+      area += w;
+      out.mean_precip += w * diag.precip;
+      out.mean_olr += w * diag.olr;
+      out.mean_shf += w * diag.shf;
+      out.mean_lhf += w * diag.lhf;
+      out.max_precip = std::max(out.max_precip, diag.precip);
+      out.olr_field[static_cast<std::size_t>(e * kNpp + k)] = diag.olr;
+    }
+  }
+  out.mean_precip /= area;
+  out.mean_olr /= area;
+  out.mean_shf /= area;
+  out.mean_lhf /= area;
+  return out;
+}
+
+}  // namespace phys

@@ -1,0 +1,62 @@
+#include "physics/held_suarez.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phys {
+
+using homme::fidx;
+using mesh::kNpp;
+
+double held_suarez_teq(const HeldSuarezConfig& cfg, double lat, double p,
+                       double ps) {
+  const double sin2 = std::sin(lat) * std::sin(lat);
+  const double cos2 = 1.0 - sin2;
+  const double sigma = p / ps;
+  const double t =
+      (cfg.t_eq_max - cfg.delta_t_y * sin2 -
+       cfg.delta_theta_z * std::log(p / homme::kP0) * cos2) *
+      std::pow(p / homme::kP0, homme::kKappa);
+  (void)sigma;
+  return std::max(cfg.t_min, t);
+}
+
+void held_suarez_forcing(const mesh::CubedSphere& m, const homme::Dims& d,
+                         homme::State& s, double dt,
+                         const HeldSuarezConfig& cfg) {
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    auto& es = s[static_cast<std::size_t>(e)];
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const double lat = g.lat[sk];
+      double ps = homme::kPtop;
+      for (int lev = 0; lev < d.nlev; ++lev) ps += es.dp[fidx(lev, k)];
+      double run = homme::kPtop;
+      const double sin2 = std::sin(lat) * std::sin(lat);
+      const double cos4 = std::pow(1.0 - sin2, 2);
+      for (int lev = 0; lev < d.nlev; ++lev) {
+        const std::size_t f = fidx(lev, k);
+        const double p = run + 0.5 * es.dp[f];
+        run += es.dp[f];
+        const double sigma = p / ps;
+
+        // Temperature relaxation: k_t = k_a + (k_s - k_a) * boundary
+        // weight * cos^4(lat), implicit in dt.
+        const double bl =
+            std::max(0.0, (sigma - cfg.sigma_b) / (1.0 - cfg.sigma_b));
+        const double k_t = cfg.k_a + (cfg.k_s - cfg.k_a) * bl * cos4;
+        const double teq = held_suarez_teq(cfg, lat, p, ps);
+        es.T[f] = (es.T[f] + dt * k_t * teq) / (1.0 + dt * k_t);
+
+        // Rayleigh friction in the boundary layer, implicit.
+        const double k_v = cfg.k_f * bl;
+        const double damp = 1.0 / (1.0 + dt * k_v);
+        es.u1[f] *= damp;
+        es.u2[f] *= damp;
+      }
+    }
+  }
+}
+
+}  // namespace phys

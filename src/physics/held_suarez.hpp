@@ -1,0 +1,36 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file held_suarez.hpp
+/// Held-Suarez (1994) idealized forcing: Newtonian relaxation of
+/// temperature toward a prescribed radiative-equilibrium profile plus
+/// Rayleigh friction on low-level winds. The standard benchmark climate
+/// of dynamical cores — the configuration the HOMME community (and the
+/// paper's validation lineage) uses to exercise a dycore without full
+/// physics.
+
+namespace phys {
+
+struct HeldSuarezConfig {
+  double t_min = 200.0;       ///< stratospheric floor, K
+  double t_eq_max = 315.0;    ///< equatorial surface equilibrium, K
+  double delta_t_y = 60.0;    ///< equator-pole contrast, K
+  double delta_theta_z = 10.0;///< static-stability parameter, K
+  double k_a = 1.0 / (40.0 * 86400.0);  ///< free-atmosphere relaxation, 1/s
+  double k_s = 1.0 / (4.0 * 86400.0);   ///< surface relaxation, 1/s
+  double k_f = 1.0 / 86400.0;           ///< Rayleigh friction, 1/s
+  double sigma_b = 0.7;       ///< boundary-layer top in sigma
+};
+
+/// Radiative-equilibrium temperature at (lat, p, ps).
+double held_suarez_teq(const HeldSuarezConfig& cfg, double lat, double p,
+                       double ps);
+
+/// Apply one forcing step of length dt to the whole state.
+void held_suarez_forcing(const mesh::CubedSphere& m, const homme::Dims& d,
+                         homme::State& s, double dt,
+                         const HeldSuarezConfig& cfg = {});
+
+}  // namespace phys

@@ -1,0 +1,209 @@
+#include "physics/modules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "homme/dims.hpp"
+
+namespace phys {
+
+using homme::kCp;
+using homme::kGravity;
+using homme::kKappa;
+using homme::kP0;
+using homme::kRgas;
+
+double saturation_vapor_pressure(double t) {
+  // Bolton (1980).
+  return 611.2 * std::exp(17.67 * (t - 273.15) / (t - 29.65));
+}
+
+double saturation_mixing_ratio(double t, double p) {
+  const double es = std::min(saturation_vapor_pressure(t), 0.5 * p);
+  return kEps * es / (p - (1.0 - kEps) * es);
+}
+
+void gray_radiation(const RadiationConfig& cfg, Column& c, double dt,
+                    ColumnDiag& diag) {
+  const int n = c.nlev;
+  // Gray optical depth grows quadratically toward the surface (a crude
+  // water-vapor profile): tau(p) = tau0 (p/ps)^2.
+  std::vector<double> dtau(static_cast<std::size_t>(n));
+  double p_int = homme::kPtop;
+  double tau_prev = cfg.tau0 * (p_int / c.ps) * (p_int / c.ps);
+  for (int k = 0; k < n; ++k) {
+    p_int += c.dp[static_cast<std::size_t>(k)];
+    const double tau = cfg.tau0 * (p_int / c.ps) * (p_int / c.ps);
+    dtau[static_cast<std::size_t>(k)] = tau - tau_prev;
+    tau_prev = tau;
+  }
+
+  std::vector<double> up(static_cast<std::size_t>(n) + 1),
+      down(static_cast<std::size_t>(n) + 1);
+  down[0] = 0.0;
+  for (int k = 0; k < n; ++k) {
+    const double tr = std::exp(-dtau[static_cast<std::size_t>(k)]);
+    const double b = kStefan * std::pow(c.t[static_cast<std::size_t>(k)], 4);
+    down[static_cast<std::size_t>(k) + 1] =
+        down[static_cast<std::size_t>(k)] * tr + b * (1.0 - tr);
+  }
+  up[static_cast<std::size_t>(n)] = kStefan * std::pow(c.sst, 4);
+  for (int k = n - 1; k >= 0; --k) {
+    const double tr = std::exp(-dtau[static_cast<std::size_t>(k)]);
+    const double b = kStefan * std::pow(c.t[static_cast<std::size_t>(k)], 4);
+    up[static_cast<std::size_t>(k)] =
+        up[static_cast<std::size_t>(k) + 1] * tr + b * (1.0 - tr);
+  }
+  diag.olr = up[0];
+
+  // Annual-mean insolation profile; the absorbed-in-atmosphere part is
+  // deposited proportionally to optical depth.
+  const double cosl = std::cos(c.lat);
+  const double insol = cfg.solar0 * (0.25 + 0.75 * cosl * cosl);
+  const double sw_col = insol * (1.0 - cfg.albedo) * cfg.sw_abs_frac;
+
+  double heat_col = 0.0;
+  for (int k = 0; k < n; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const double net =
+        (up[sk + 1] - down[sk + 1]) - (up[sk] - down[sk]);  // W/m^2 converged
+    const double sw = sw_col * dtau[sk] / std::max(1e-12, cfg.tau0);
+    const double heating = net + sw;
+    c.t[sk] += dt * heating * kGravity / (kCp * c.dp[sk]);
+    heat_col += heating;
+  }
+  diag.net_heating += heat_col;
+}
+
+void dry_adjustment(Column& c, int max_iter) {
+  const int n = c.nlev;
+  std::vector<double> exner(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    exner[static_cast<std::size_t>(k)] =
+        std::pow(c.p[static_cast<std::size_t>(k)] / kP0, kKappa);
+  }
+  for (int iter = 0; iter < max_iter; ++iter) {
+    bool adjusted = false;
+    for (int k = 0; k + 1 < n; ++k) {  // k above, k+1 below
+      const std::size_t a = static_cast<std::size_t>(k);
+      const std::size_t b = a + 1;
+      const double theta_a = c.t[a] / exner[a];
+      const double theta_b = c.t[b] / exner[b];
+      if (theta_b > theta_a * (1.0 + 1e-12)) {
+        // Unstable: mix to a common potential temperature conserving
+        // enthalpy cp*(T_a dp_a + T_b dp_b).
+        const double denom = exner[a] * c.dp[a] + exner[b] * c.dp[b];
+        const double theta = (c.t[a] * c.dp[a] + c.t[b] * c.dp[b]) / denom;
+        c.t[a] = theta * exner[a];
+        c.t[b] = theta * exner[b];
+        // Homogenize moisture too (simple convective transport).
+        const double qbar =
+            (c.q[a] * c.dp[a] + c.q[b] * c.dp[b]) / (c.dp[a] + c.dp[b]);
+        c.q[a] = qbar;
+        c.q[b] = qbar;
+        adjusted = true;
+      }
+    }
+    if (!adjusted) break;
+  }
+}
+
+void large_scale_condensation(Column& c, double dt, ColumnDiag& diag) {
+  for (int k = 0; k < c.nlev; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const double qs = saturation_mixing_ratio(c.t[sk], c.p[sk]);
+    if (c.q[sk] <= qs) continue;
+    const double dqs_dt = qs * kLv / (kRv * c.t[sk] * c.t[sk]);
+    const double gamma = (kLv / kCp) * dqs_dt;
+    const double dq = (c.q[sk] - qs) / (1.0 + gamma);
+    c.q[sk] -= dq;
+    c.t[sk] += (kLv / kCp) * dq;
+    diag.precip += dq * c.dp[sk] / (kGravity * dt);
+  }
+}
+
+namespace {
+
+/// Thomas algorithm for a tridiagonal system (a=sub, b=diag, c=sup).
+void tridiag_solve(std::vector<double>& a, std::vector<double>& b,
+                   std::vector<double>& cc, std::vector<double>& d) {
+  const std::size_t n = b.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const double w = a[i] / b[i - 1];
+    b[i] -= w * cc[i - 1];
+    d[i] -= w * d[i - 1];
+  }
+  d[n - 1] /= b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    d[i] = (d[i] - cc[i] * d[i + 1]) / b[i];
+  }
+}
+
+}  // namespace
+
+void surface_and_pbl(const SurfaceConfig& cfg, Column& c, double dt,
+                     ColumnDiag& diag) {
+  const int n = c.nlev;
+  const std::size_t bot = static_cast<std::size_t>(n - 1);
+
+  // Bulk surface fluxes into the lowest layer.
+  const double rho = c.ps / (kRgas * c.t[bot]);
+  const double wind =
+      std::max(cfg.min_wind, std::hypot(c.u[bot], c.v[bot]));
+  const double ch = rho * cfg.c_drag * wind;
+  const double shf = ch * kCp * (c.sst - c.t[bot]);
+  const double qs_sfc = saturation_mixing_ratio(c.sst, c.ps);
+  const double lhf = std::max(0.0, ch * kLv * (qs_sfc - c.q[bot]));
+  c.t[bot] += dt * shf * kGravity / (kCp * c.dp[bot]);
+  c.q[bot] += dt * (lhf / kLv) * kGravity / c.dp[bot];
+  // Implicit momentum drag.
+  const double drag = ch * kGravity * dt / c.dp[bot];
+  c.u[bot] /= (1.0 + drag);
+  c.v[bot] /= (1.0 + drag);
+  diag.shf += shf;
+  diag.lhf += lhf;
+
+  // Implicit vertical diffusion over the PBL depth. In pressure
+  // coordinates d/dt X = g^2 d/dp (rho^2 K dX/dp).
+  std::vector<double> kfac(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int k = 1; k < n; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const double p_int = 0.5 * (c.p[sk - 1] + c.p[sk]);
+    if (p_int < c.ps - cfg.pbl_depth_pa) continue;
+    const double rho_i = p_int / (kRgas * 0.5 * (c.t[sk - 1] + c.t[sk]));
+    const double dpi = c.p[sk] - c.p[sk - 1];
+    kfac[sk] = kGravity * kGravity * rho_i * rho_i * cfg.k_pbl / dpi;
+  }
+
+  auto diffuse = [&](std::vector<double>& x) {
+    std::vector<double> a(static_cast<std::size_t>(n), 0.0),
+        b(static_cast<std::size_t>(n), 0.0),
+        cc(static_cast<std::size_t>(n), 0.0), d(x);
+    for (int k = 0; k < n; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const double up = kfac[sk] * dt / c.dp[sk];
+      const double dn = kfac[sk + 1] * dt / c.dp[sk];
+      a[sk] = -up;
+      cc[sk] = -dn;
+      b[sk] = 1.0 + up + dn;
+    }
+    tridiag_solve(a, b, cc, d);
+    x = d;
+  };
+  diffuse(c.t);
+  diffuse(c.q);
+  diffuse(c.u);
+  diffuse(c.v);
+}
+
+double column_moist_enthalpy(const Column& c) {
+  double s = 0.0;
+  for (int k = 0; k < c.nlev; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    s += (kCp * c.t[sk] + kLv * c.q[sk]) * c.dp[sk];
+  }
+  return s;
+}
+
+}  // namespace phys

@@ -1,0 +1,256 @@
+#include "sw/core_group.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sw {
+
+namespace {
+/// Extra DMA cost per strided block after the first (row activation).
+constexpr double kDmaBlockCycles = 8.0;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cpe: DMA
+// ---------------------------------------------------------------------------
+
+double CoreGroup::dma_cost(Cpe& cpe, std::size_t bytes,
+                           std::size_t descriptors) {
+  // The CPE pays a small issue cost plus the transfer's own latency and
+  // bus time; aggregate bus occupancy accumulates separately and bounds
+  // the kernel time (see mc_busy_total_).
+  cpe.clock_ += kDmaIssueCycles;
+  double busy = static_cast<double>(bytes) / bytes_per_cycle_;
+  if (descriptors > 1) {
+    busy += static_cast<double>(descriptors - 1) * kDmaBlockCycles;
+  }
+  mc_busy_total_ += busy;
+  return cpe.clock_ + kDmaStartupCycles + busy;
+}
+
+DmaHandle Cpe::dma_get(void* ldm_dst, const void* mem_src,
+                       std::size_t bytes) {
+  std::memcpy(ldm_dst, mem_src, bytes);
+  ctr_.dma_get_bytes += bytes;
+  ctr_.dma_ops += 1;
+  note_ldm_peak();
+  return DmaHandle{cg_->dma_cost(*this, bytes, 1)};
+}
+
+DmaHandle Cpe::dma_put(void* mem_dst, const void* ldm_src,
+                       std::size_t bytes) {
+  std::memcpy(mem_dst, ldm_src, bytes);
+  ctr_.dma_put_bytes += bytes;
+  ctr_.dma_ops += 1;
+  return DmaHandle{cg_->dma_cost(*this, bytes, 1)};
+}
+
+DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
+                               std::size_t block_bytes, std::size_t count,
+                               std::size_t src_stride_bytes) {
+  auto* dst = static_cast<std::byte*>(ldm_dst);
+  const auto* src = static_cast<const std::byte*>(mem_src);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(dst + i * block_bytes, src + i * src_stride_bytes,
+                block_bytes);
+  }
+  const std::size_t bytes = block_bytes * count;
+  ctr_.dma_get_bytes += bytes;
+  ctr_.dma_ops += 1;
+  note_ldm_peak();
+  return DmaHandle{cg_->dma_cost(*this, bytes, count)};
+}
+
+DmaHandle Cpe::dma_put_strided(void* mem_dst, const void* ldm_src,
+                               std::size_t block_bytes, std::size_t count,
+                               std::size_t dst_stride_bytes) {
+  auto* dst = static_cast<std::byte*>(mem_dst);
+  const auto* src = static_cast<const std::byte*>(ldm_src);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(dst + i * dst_stride_bytes, src + i * block_bytes,
+                block_bytes);
+  }
+  const std::size_t bytes = block_bytes * count;
+  ctr_.dma_put_bytes += bytes;
+  ctr_.dma_ops += 1;
+  return DmaHandle{cg_->dma_cost(*this, bytes, count)};
+}
+
+// ---------------------------------------------------------------------------
+// Cpe: register communication
+// ---------------------------------------------------------------------------
+
+Cpe::SendAwaiter Cpe::send_row(int dst_col, v4d payload) {
+  assert(dst_col >= 0 && dst_col < kCpeCols);
+  const int dst = row_ * kCpeCols + dst_col;
+  return SendAwaiter{*this, cg_->row_fifo(dst), payload};
+}
+
+Cpe::SendAwaiter Cpe::send_col(int dst_row, v4d payload) {
+  assert(dst_row >= 0 && dst_row < kCpeRows);
+  const int dst = dst_row * kCpeCols + col_;
+  return SendAwaiter{*this, cg_->col_fifo(dst), payload};
+}
+
+Cpe::RecvAwaiter Cpe::recv_row() {
+  return RecvAwaiter{*this, cg_->row_fifo(id_)};
+}
+
+Cpe::RecvAwaiter Cpe::recv_col() {
+  return RecvAwaiter{*this, cg_->col_fifo(id_)};
+}
+
+void Cpe::SendAwaiter::await_resume() {
+  // The FIFO may transiently exceed its depth when a waiting sender and a
+  // fresh sender interleave; per-source ordering (what the hardware
+  // guarantees) is preserved because each source is sequential.
+  self.clock_ += kRegCommSendCycles;
+  fifo.q.push_back(detail::RegFifo::Msg{payload, self.clock_, self.id_});
+  self.ctr_.reg_sends += 1;
+  if (!fifo.recv_waiters.empty()) {
+    auto h = fifo.recv_waiters.back();
+    fifo.recv_waiters.pop_back();
+    self.cg_->ready(h);
+  }
+}
+
+v4d Cpe::RecvAwaiter::await_resume() {
+  assert(!fifo.empty());
+  const auto msg = fifo.q.front();
+  fifo.q.pop_front();
+  self.clock_ = std::max(self.clock_ + kRegCommRecvCycles,
+                         msg.sent_cycle + kRegCommLatencyCycles);
+  self.ctr_.reg_recvs += 1;
+  if (!fifo.send_waiters.empty()) {
+    auto h = fifo.send_waiters.back();
+    fifo.send_waiters.pop_back();
+    self.cg_->ready(h);
+  }
+  return msg.payload;
+}
+
+// ---------------------------------------------------------------------------
+// Cpe: barrier and yield
+// ---------------------------------------------------------------------------
+
+bool Cpe::BarrierAwaiter::await_ready() const { return false; }
+
+void Cpe::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) {
+  CoreGroup& cg = *self.cg_;
+  cg.barrier_waiters_.emplace_back(&self, h);
+  cg.barrier_waiting_ += 1;
+  if (cg.barrier_waiting_ == cg.barrier_population_) {
+    double max_clock = 0.0;
+    for (const auto& [cpe, handle] : cg.barrier_waiters_) {
+      max_clock = std::max(max_clock, cpe->clock_);
+    }
+    for (auto& [cpe, handle] : cg.barrier_waiters_) {
+      cpe->clock_ = max_clock + kBarrierCycles;
+      cg.ready(handle);
+    }
+    cg.barrier_waiters_.clear();
+    cg.barrier_waiting_ = 0;
+  }
+}
+
+void Cpe::YieldAwaiter::await_suspend(std::coroutine_handle<> h) {
+  self.cg_->ready(h);
+}
+
+// ---------------------------------------------------------------------------
+// CoreGroup
+// ---------------------------------------------------------------------------
+
+CoreGroup::CoreGroup()
+    : cpes_(kCpesPerGroup),
+      row_fifos_(kCpesPerGroup),
+      col_fifos_(kCpesPerGroup) {
+  for (int id = 0; id < kCpesPerGroup; ++id) {
+    Cpe& c = cpes_[static_cast<std::size_t>(id)];
+    c.cg_ = this;
+    c.id_ = id;
+    c.row_ = id / kCpeCols;
+    c.col_ = id % kCpeCols;
+  }
+}
+
+KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
+                           int ncpes, double spawn_overhead_cycles) {
+  assert(ncpes >= 1 && ncpes <= kCpesPerGroup);
+
+  // Reset chip state for a fresh kernel launch.
+  mc_busy_total_ = 0.0;
+  barrier_waiting_ = 0;
+  barrier_population_ = ncpes;
+  barrier_waiters_.clear();
+  ready_.clear();
+  for (auto& f : row_fifos_) {
+    f.q.clear();
+    f.recv_waiters.clear();
+    f.send_waiters.clear();
+  }
+  for (auto& f : col_fifos_) {
+    f.q.clear();
+    f.recv_waiters.clear();
+    f.send_waiters.clear();
+  }
+  for (int id = 0; id < ncpes; ++id) {
+    Cpe& c = cpes_[static_cast<std::size_t>(id)];
+    c.clock_ = 0.0;
+    c.ctr_ = CpeCounters{};
+    c.ldm_.reset();
+    c.ldm_.reset_peak();
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(ncpes));
+  for (int id = 0; id < ncpes; ++id) {
+    tasks.push_back(make_kernel(cpes_[static_cast<std::size_t>(id)]));
+    ready_.push_back(tasks.back().handle());
+  }
+
+  while (!ready_.empty()) {
+    auto h = ready_.front();
+    ready_.pop_front();
+    if (!h.done()) h.resume();
+  }
+
+  for (const Task& t : tasks) t.rethrow_if_failed();
+
+  int blocked = 0;
+  for (const Task& t : tasks) {
+    if (!t.done()) ++blocked;
+  }
+  if (blocked > 0) {
+    throw SchedulerDeadlock(
+        "core-group deadlock: " + std::to_string(blocked) + " of " +
+        std::to_string(ncpes) +
+        " CPE tasks blocked on register communication or a barrier");
+  }
+  for (const auto& f : row_fifos_) {
+    if (!f.empty()) {
+      throw std::logic_error("unconsumed row register message at kernel end");
+    }
+  }
+  for (const auto& f : col_fifos_) {
+    if (!f.empty()) {
+      throw std::logic_error("unconsumed col register message at kernel end");
+    }
+  }
+
+  KernelStats stats;
+  for (int id = 0; id < ncpes; ++id) {
+    Cpe& c = cpes_[static_cast<std::size_t>(id)];
+    c.note_ldm_peak();
+    stats.cycles = std::max(stats.cycles, c.clock_);
+    stats.totals += c.ctr_;
+  }
+  // Bandwidth bound: the kernel cannot finish before the memory
+  // controller has streamed all requested bytes.
+  stats.cycles = std::max(stats.cycles, mc_busy_total_);
+  stats.cycles += spawn_overhead_cycles;
+  stats.seconds = stats.cycles / kCpeClockHz;
+  return stats;
+}
+
+}  // namespace sw

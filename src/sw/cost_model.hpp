@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file cost_model.hpp
+/// Roofline cost model for the platforms compared in Table 1 / Figure 5 of
+/// the paper. The simulator *measures* flops and memory traffic for the
+/// CPE-cluster variants by executing them; this model converts measured
+/// work into time for the cache-based platforms (Intel Xeon E5-2680v3
+/// core, SW26010 MPE) and provides the platform constants documented in
+/// DESIGN.md section 5.
+
+namespace sw {
+
+/// Sustained capability of one execution platform.
+struct Platform {
+  std::string name;
+  double gflops;       ///< sustained double-precision GFlop/s
+  double gbytes;       ///< sustained memory bandwidth GB/s
+  double overhead_s;   ///< fixed per-kernel-invocation overhead (seconds)
+};
+
+namespace platforms {
+
+/// One core of an Intel Xeon E5-2680v3 (2.5 GHz Haswell), the reference
+/// platform of Table 1. Sustained scalar/SSE mix on stencil-like code.
+inline const Platform intel_core{"intel-core", 10.0, 6.0, 2.0e-6};
+
+/// The SW26010 management processing element: a modest 64-bit RISC core
+/// with small caches, 2-10x slower than the Intel core on these kernels.
+inline const Platform sw_mpe{"sw-mpe", 1.5, 4.0, 2.0e-6};
+
+}  // namespace platforms
+
+/// Analytically estimated work of one kernel invocation, used to price the
+/// cache-based platforms. \p bytes should be the compulsory memory traffic
+/// (arrays read + written once per pass over the data).
+struct WorkEstimate {
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+
+  WorkEstimate& operator+=(const WorkEstimate& o) {
+    flops += o.flops;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// Roofline time: the kernel is limited by whichever of compute and memory
+/// traffic is slower, plus a fixed invocation overhead.
+inline double roofline_seconds(const WorkEstimate& w, const Platform& p) {
+  const double t_compute = static_cast<double>(w.flops) / (p.gflops * 1e9);
+  const double t_memory = static_cast<double>(w.bytes) / (p.gbytes * 1e9);
+  return (t_compute > t_memory ? t_compute : t_memory) + p.overhead_s;
+}
+
+}  // namespace sw

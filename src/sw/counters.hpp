@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file counters.hpp
+/// Per-CPE and aggregated performance counters. The simulator measures
+/// flops and memory traffic the way the paper's methodology does with the
+/// PERF hardware monitor (section 8.1.1): by counting retired arithmetic
+/// operations and DMA transfers on the CPE cluster.
+
+namespace sw {
+
+/// Counters accumulated by one CPE while a kernel runs.
+struct CpeCounters {
+  std::uint64_t scalar_flops = 0;   ///< retired scalar DP operations
+  std::uint64_t vector_flops = 0;   ///< retired DP operations issued as vectors
+  std::uint64_t dma_get_bytes = 0;  ///< bytes moved main memory -> LDM
+  std::uint64_t dma_put_bytes = 0;  ///< bytes moved LDM -> main memory
+  std::uint64_t dma_ops = 0;        ///< DMA descriptors issued
+  std::uint64_t reg_sends = 0;      ///< register-communication messages sent
+  std::uint64_t reg_recvs = 0;      ///< register-communication messages read
+  std::uint64_t ldm_peak_bytes = 0; ///< high-water mark of LDM usage
+
+  CpeCounters& operator+=(const CpeCounters& o) {
+    scalar_flops += o.scalar_flops;
+    vector_flops += o.vector_flops;
+    dma_get_bytes += o.dma_get_bytes;
+    dma_put_bytes += o.dma_put_bytes;
+    dma_ops += o.dma_ops;
+    reg_sends += o.reg_sends;
+    reg_recvs += o.reg_recvs;
+    if (o.ldm_peak_bytes > ldm_peak_bytes) ldm_peak_bytes = o.ldm_peak_bytes;
+    return *this;
+  }
+
+  std::uint64_t total_flops() const { return scalar_flops + vector_flops; }
+  std::uint64_t total_dma_bytes() const { return dma_get_bytes + dma_put_bytes; }
+};
+
+/// Result of running one kernel on the simulated core group.
+struct KernelStats {
+  double cycles = 0.0;       ///< modeled time: max CPE clock at completion
+  double seconds = 0.0;      ///< cycles / clock frequency
+  CpeCounters totals;        ///< summed over all CPEs
+
+  double gflops() const {
+    return seconds > 0 ? static_cast<double>(totals.total_flops()) / seconds / 1e9
+                       : 0.0;
+  }
+  double dma_gbytes_per_s() const {
+    return seconds > 0
+               ? static_cast<double>(totals.total_dma_bytes()) / seconds / 1e9
+               : 0.0;
+  }
+};
+
+}  // namespace sw

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "sw/config.hpp"
+
+/// \file footprint.hpp
+/// LDM footprint planning — the in-code analog of the paper's "memory
+/// footprint analysis and reduction tool" (section 7.2): given how many
+/// per-level field slices a loop body touches, decide the largest level
+/// chunk that fits the 64 KB scratchpad and how many passes that implies.
+/// The OpenACC-style ports use this exactly where the real tool inserted
+/// its s-chunking.
+
+namespace sw {
+
+struct ChunkPlan {
+  int levels_per_chunk = 0;  ///< levels staged per pass
+  int chunks = 0;            ///< passes over the level range
+  std::size_t bytes_per_chunk = 0;
+  bool single_pass = false;  ///< everything fit at once
+};
+
+/// Plan level chunking for a loop body touching \p nfields per-level
+/// slices of \p bytes_per_level each, over \p nlev levels, keeping
+/// \p reserve_bytes of LDM for scalars/stack.
+/// \p max_chunk caps the chunk (the paper's tooling used 32).
+/// Throws std::invalid_argument when even a single level cannot fit.
+inline ChunkPlan plan_level_chunks(int nfields, int nlev,
+                                   std::size_t bytes_per_level,
+                                   std::size_t reserve_bytes = 4096,
+                                   int max_chunk = 32) {
+  if (nfields <= 0 || nlev <= 0) {
+    throw std::invalid_argument("plan_level_chunks: empty loop body");
+  }
+  const std::size_t per_level =
+      static_cast<std::size_t>(nfields) * bytes_per_level;
+  const std::size_t budget =
+      kLdmBytes > reserve_bytes ? kLdmBytes - reserve_bytes : 0;
+  if (per_level == 0 || per_level > budget) {
+    throw std::invalid_argument(
+        "plan_level_chunks: a single level needs " +
+        std::to_string(per_level) + " bytes, LDM budget is " +
+        std::to_string(budget));
+  }
+  ChunkPlan plan;
+  plan.levels_per_chunk = static_cast<int>(budget / per_level);
+  plan.levels_per_chunk = std::min(plan.levels_per_chunk, max_chunk);
+  plan.levels_per_chunk = std::min(plan.levels_per_chunk, nlev);
+  plan.chunks =
+      (nlev + plan.levels_per_chunk - 1) / plan.levels_per_chunk;
+  plan.bytes_per_chunk =
+      static_cast<std::size_t>(plan.levels_per_chunk) * per_level;
+  plan.single_pass = plan.chunks == 1;
+  return plan;
+}
+
+}  // namespace sw

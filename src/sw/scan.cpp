@@ -1,0 +1,170 @@
+#include "sw/scan.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace sw {
+
+namespace {
+
+/// Send a carry vector of \p n doubles to the CPE at \p dst_row in this
+/// column, 4 lanes per register message.
+Task send_carry(Cpe& cpe, int dst_row, std::span<const double> carry) {
+  for (std::size_t s = 0; s < carry.size(); s += 4) {
+    v4d msg;
+    for (std::size_t l = 0; l < 4 && s + l < carry.size(); ++l) {
+      msg[static_cast<int>(l)] = carry[s + l];
+    }
+    co_await cpe.send_col(dst_row, msg);
+  }
+}
+
+Task recv_carry(Cpe& cpe, std::span<double> carry) {
+  for (std::size_t s = 0; s < carry.size(); s += 4) {
+    v4d msg = co_await cpe.recv_col();
+    for (std::size_t l = 0; l < 4 && s + l < carry.size(); ++l) {
+      carry[s + l] = msg[static_cast<int>(l)];
+    }
+  }
+}
+
+struct ChainOrder {
+  bool first;     ///< this CPE starts the carry chain
+  int next_row;   ///< row to forward the carry to, or -1
+};
+
+ChainOrder chain_order(int row, ScanDir dir, int rows_in_use) {
+  if (dir == ScanDir::kDown) {
+    return {row == 0, row + 1 < rows_in_use ? row + 1 : -1};
+  }
+  return {row == rows_in_use - 1, row > 0 ? row - 1 : -1};
+}
+
+}  // namespace
+
+CoTask<void> column_scan(Cpe& cpe, std::span<double> vals, int nseries,
+                         std::span<const double> init, ScanDir dir,
+                         int rows_in_use) {
+  assert(nseries > 0);
+  assert(vals.size() % static_cast<std::size_t>(nseries) == 0);
+  if (cpe.row() >= rows_in_use) co_return;
+
+  const std::size_t ns = static_cast<std::size_t>(nseries);
+  const std::size_t nlayers = vals.size() / ns;
+  const bool down = dir == ScanDir::kDown;
+
+  // Stage 1: local accumulation within this CPE's block of layers.
+  if (down) {
+    for (std::size_t k = 1; k < nlayers; ++k) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        vals[k * ns + s] += vals[(k - 1) * ns + s];
+      }
+    }
+  } else {
+    for (std::size_t k = nlayers - 1; k-- > 0;) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        vals[k * ns + s] += vals[(k + 1) * ns + s];
+      }
+    }
+  }
+  cpe.vector_flops((nlayers - 1) * ns);
+
+  // Stage 2: partial-sum exchange along the CPE column.
+  const auto order = chain_order(cpe.row(), dir, rows_in_use);
+  std::vector<double> carry(ns, 0.0);
+  if (order.first) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      carry[s] = init.empty() ? 0.0 : init[s];
+    }
+  } else {
+    co_await recv_carry(cpe, carry);
+  }
+  if (order.next_row >= 0) {
+    std::vector<double> out(ns);
+    const std::size_t last = down ? nlayers - 1 : 0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      out[s] = carry[s] + vals[last * ns + s];
+    }
+    cpe.vector_flops(ns);
+    co_await send_carry(cpe, order.next_row, out);
+  }
+
+  // Stage 3: global accumulation — fold the carry into every entry.
+  for (std::size_t k = 0; k < nlayers; ++k) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      vals[k * ns + s] += carry[s];
+    }
+  }
+  cpe.vector_flops(nlayers * ns);
+}
+
+CoTask<void> column_scan_exclusive(Cpe& cpe, std::span<double> vals,
+                                   int nseries,
+                                   std::span<const double> init, ScanDir dir,
+                                   int rows_in_use) {
+  assert(nseries > 0);
+  if (cpe.row() >= rows_in_use) co_return;
+
+  const std::size_t ns = static_cast<std::size_t>(nseries);
+  const std::size_t nlayers = vals.size() / ns;
+  const bool down = dir == ScanDir::kDown;
+
+  // Save each series' local total before shifting, then convert the block
+  // to a local exclusive prefix.
+  std::vector<double> local_total(ns, 0.0);
+  for (std::size_t k = 0; k < nlayers; ++k) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      local_total[s] += vals[k * ns + s];
+    }
+  }
+  cpe.vector_flops(nlayers * ns);
+
+  // Exclusive prefix in scan direction, single pass with a running sum.
+  if (down) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      double run = 0.0;
+      for (std::size_t k = 0; k < nlayers; ++k) {
+        const double v = vals[k * ns + s];
+        vals[k * ns + s] = run;
+        run += v;
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < ns; ++s) {
+      double run = 0.0;
+      for (std::size_t k = nlayers; k-- > 0;) {
+        const double v = vals[k * ns + s];
+        vals[k * ns + s] = run;
+        run += v;
+      }
+    }
+  }
+  cpe.vector_flops(nlayers * ns);
+
+  const auto order = chain_order(cpe.row(), dir, rows_in_use);
+  std::vector<double> carry(ns, 0.0);
+  if (order.first) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      carry[s] = init.empty() ? 0.0 : init[s];
+    }
+  } else {
+    co_await recv_carry(cpe, carry);
+  }
+  if (order.next_row >= 0) {
+    std::vector<double> out(ns);
+    for (std::size_t s = 0; s < ns; ++s) {
+      out[s] = carry[s] + local_total[s];
+    }
+    cpe.vector_flops(ns);
+    co_await send_carry(cpe, order.next_row, out);
+  }
+
+  for (std::size_t k = 0; k < nlayers; ++k) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      vals[k * ns + s] += carry[s];
+    }
+  }
+  cpe.vector_flops(nlayers * ns);
+}
+
+}  // namespace sw

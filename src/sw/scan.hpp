@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+
+#include "sw/core_group.hpp"
+#include "sw/task.hpp"
+
+/// \file scan.hpp
+/// The three-stage register-communication scan of section 7.4 / Figure 2.
+///
+/// CAM-SE computes vertically accumulated quantities (pressure from layer
+/// thickness, geopotential from virtual temperature) with a sequential
+/// dependence along the 128 model layers. The paper partitions the layers
+/// across the 8 CPE rows of a column and breaks the dependence with a
+/// three-stage algorithm:
+///   1. local accumulation within each CPE's block of layers,
+///   2. a carry chain along the CPE column via register communication,
+///   3. a local correction adding the incoming carry to every entry.
+/// The helpers below implement this for a batch of independent series
+/// (CAM-SE scans all np*np = 16 GLL columns of an element at once).
+
+namespace sw {
+
+enum class ScanDir {
+  kDown,  ///< carries flow from CPE row r-1 to row r (top-of-atmosphere down)
+  kUp     ///< carries flow from CPE row r+1 to row r (surface up)
+};
+
+/// In-place inclusive prefix sum over the CPE column this core belongs to.
+///
+/// \p vals holds this CPE's block as [local_layers][nseries] row-major;
+/// the scan runs along the layer axis independently for each series.
+/// \p init contributes to the first layer of the first CPE (row 0 for
+/// kDown, row kCpeRows-1 for kUp); pass an empty span for zero.
+/// \p rows_in_use limits the chain to the first \p rows_in_use CPE rows.
+CoTask<void> column_scan(Cpe& cpe, std::span<double> vals, int nseries,
+                         std::span<const double> init,
+                         ScanDir dir = ScanDir::kDown,
+                         int rows_in_use = kCpeRows);
+
+/// Exclusive variant: entry k receives the sum of entries strictly before
+/// it (in scan direction), plus init. Used for mid-level pressure where
+/// p(k) = p_top + sum_{j<k} dp(j) + dp(k)/2.
+CoTask<void> column_scan_exclusive(Cpe& cpe, std::span<double> vals,
+                                   int nseries,
+                                   std::span<const double> init,
+                                   ScanDir dir = ScanDir::kDown,
+                                   int rows_in_use = kCpeRows);
+
+}  // namespace sw

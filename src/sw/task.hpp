@@ -1,0 +1,178 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+/// \file task.hpp
+/// Coroutine types for simulated CPE threads.
+///
+/// A CPE kernel is a coroutine returning sw::Task. The cooperative
+/// scheduler in CoreGroup resumes tasks one at a time, making the whole
+/// chip simulation single threaded and deterministic: identical inputs
+/// give identical interleavings, cycle counts and floating point results.
+///
+/// Kernels can factor blocking logic (register-communication scans,
+/// inter-CPE transposes, ...) into sub-coroutines: CoTask<T> is awaitable,
+/// with symmetric transfer back to the awaiting caller on completion, so a
+/// library routine can itself suspend on a FIFO and the whole chain
+/// resumes correctly when the scheduler re-readies the leaf.
+
+namespace sw {
+
+namespace detail {
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::exception_ptr exception;
+  std::coroutine_handle<> continuation;
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// An awaitable coroutine task producing a value of type T (or void).
+template <typename T = void>
+class CoTask {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    CoTask get_return_object() {
+      return CoTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  CoTask() = default;
+  explicit CoTask(handle_type h) : handle_(h) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask(CoTask&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~CoTask() { destroy(); }
+
+  handle_type handle() const { return handle_; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Awaiting a CoTask starts it (symmetric transfer) and resumes the
+  /// caller when it completes, yielding its value.
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+        h.promise().continuation = caller;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  handle_type handle_;
+};
+
+template <>
+class CoTask<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    CoTask get_return_object() {
+      return CoTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  CoTask() = default;
+  explicit CoTask(handle_type h) : handle_(h) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask(CoTask&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~CoTask() { destroy(); }
+
+  handle_type handle() const { return handle_; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+        h.promise().continuation = caller;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  handle_type handle_;
+};
+
+/// The top-level kernel coroutine type spawned on each CPE.
+using Task = CoTask<void>;
+
+}  // namespace sw

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+/// \file vreg.hpp
+/// Emulation of the SW26010 CPE 256-bit vector unit: a 4-wide double
+/// precision register type v4d with arithmetic, and the shuffle
+/// instruction used by the paper's in-register 4x4 matrix transpose
+/// (section 7.5, Figure 3).
+
+namespace sw {
+
+/// A 256-bit vector register holding 4 doubles.
+struct v4d {
+  std::array<double, 4> lane{};
+
+  constexpr v4d() = default;
+  constexpr explicit v4d(double broadcast)
+      : lane{broadcast, broadcast, broadcast, broadcast} {}
+  constexpr v4d(double a, double b, double c, double d) : lane{a, b, c, d} {}
+
+  static v4d load(const double* p) { return {p[0], p[1], p[2], p[3]}; }
+  static v4d load(std::span<const double> s) { return load(s.data()); }
+  void store(double* p) const {
+    p[0] = lane[0]; p[1] = lane[1]; p[2] = lane[2]; p[3] = lane[3];
+  }
+
+  double& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
+  double operator[](int i) const { return lane[static_cast<std::size_t>(i)]; }
+
+  friend v4d operator+(v4d a, v4d b) {
+    return {a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]};
+  }
+  friend v4d operator-(v4d a, v4d b) {
+    return {a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]};
+  }
+  friend v4d operator*(v4d a, v4d b) {
+    return {a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]};
+  }
+  friend v4d operator/(v4d a, v4d b) {
+    return {a[0] / b[0], a[1] / b[1], a[2] / b[2], a[3] / b[3]};
+  }
+  v4d& operator+=(v4d o) { return *this = *this + o; }
+  v4d& operator-=(v4d o) { return *this = *this - o; }
+  v4d& operator*=(v4d o) { return *this = *this * o; }
+
+  double hsum() const { return lane[0] + lane[1] + lane[2] + lane[3]; }
+};
+
+/// Fused multiply-add: a*b + c, one instruction on the CPE vector unit.
+inline v4d vfma(v4d a, v4d b, v4d c) {
+  return {a[0] * b[0] + c[0], a[1] * b[1] + c[1], a[2] * b[2] + c[2],
+          a[3] * b[3] + c[3]};
+}
+
+/// Encode a shuffle mask. The shuffle instruction (Figure 3 of the paper)
+/// builds a new register whose first two lanes come from \p a and last two
+/// lanes come from \p b; each 2-bit field selects a source lane.
+constexpr std::uint8_t shuffle_mask(int a0, int a1, int b0, int b1) {
+  return static_cast<std::uint8_t>((a0 & 3) | ((a1 & 3) << 2) |
+                                   ((b0 & 3) << 4) | ((b1 & 3) << 6));
+}
+
+/// shuffle(a, b, mask): lanes {a[m0], a[m1], b[m2], b[m3]}.
+inline v4d shuffle(v4d a, v4d b, std::uint8_t mask) {
+  return {a[mask & 3], a[(mask >> 2) & 3], b[(mask >> 4) & 3],
+          b[(mask >> 6) & 3]};
+}
+
+/// Transpose a 4x4 block held in four registers (rows) using exactly 8
+/// shuffle instructions, as in Figure 3 of the paper.
+inline void transpose4x4(v4d& r0, v4d& r1, v4d& r2, v4d& r3) {
+  constexpr std::uint8_t even = shuffle_mask(0, 2, 0, 2);
+  constexpr std::uint8_t odd = shuffle_mask(1, 3, 1, 3);
+  const v4d t0 = shuffle(r0, r1, even);  // a0 a2 b0 b2
+  const v4d t1 = shuffle(r0, r1, odd);   // a1 a3 b1 b3
+  const v4d t2 = shuffle(r2, r3, even);  // c0 c2 d0 d2
+  const v4d t3 = shuffle(r2, r3, odd);   // c1 c3 d1 d3
+  r0 = shuffle(t0, t2, even);            // a0 b0 c0 d0
+  r1 = shuffle(t1, t3, even);            // a1 b1 c1 d1
+  r2 = shuffle(t0, t2, odd);             // a2 b2 c2 d2
+  r3 = shuffle(t1, t3, odd);             // a3 b3 c3 d3
+}
+
+}  // namespace sw

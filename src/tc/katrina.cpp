@@ -1,0 +1,83 @@
+#include "tc/katrina.hpp"
+
+#include <cmath>
+
+#include "homme/driver.hpp"
+#include "physics/driver.hpp"
+
+namespace tc {
+
+KatrinaRun run_katrina_at(int ne, const KatrinaConfig& cfg) {
+  KatrinaRun run;
+  run.ne = ne;
+
+  auto m = mesh::CubedSphere::build(ne, mesh::kEarthRadius);
+  homme::Dims d;
+  d.nlev = cfg.nlev;
+  d.qsize = 1;  // specific humidity
+
+  auto s = tc_initial_state(m, d, cfg.vortex);
+
+  homme::DycoreConfig dcfg;
+  homme::Dycore dycore(m, d, dcfg);
+
+  phys::PhysicsConfig pcfg;
+  pcfg.radiation = false;  // a 12-hour segment; radiation is negligible
+  pcfg.convection = cfg.physics_on;
+  pcfg.condensation = cfg.physics_on;
+  pcfg.surface_pbl = cfg.physics_on;
+  // Warm ocean under the storm region (Gulf-like pool).
+  const TcParams vp = cfg.vortex;
+  pcfg.sst = [vp](double lat, double lon) {
+    const double base = 302.0 - 30.0 * std::sin(lat) * std::sin(lat);
+    const double r = great_circle(lat, lon, vp.lat0, vp.lon0,
+                                  mesh::kEarthRadius);
+    return base + 1.5 * std::exp(-r * r / (4.0 * vp.rm * vp.rm));
+  };
+  phys::PhysicsDriver physics(m, d, pcfg);
+
+  const double total_s = cfg.hours * 3600.0;
+  const int steps = std::max(1, static_cast<int>(total_s / dycore.dt()));
+  const int out_every = std::max(1, steps / cfg.n_outputs);
+  const double phys_dt = dycore.dt();
+
+  const TcFix fix0 = track(m, d, s);
+  run.track.hours.push_back(0.0);
+  run.track.fixes.push_back(fix0);
+  run.deepest_ps = fix0.min_ps;
+
+  for (int step = 1; step <= steps; ++step) {
+    dycore.step(s);
+    if (cfg.physics_on) physics.step(s, phys_dt);
+    if (step % out_every == 0 || step == steps) {
+      const double hours = step * dycore.dt() / 3600.0;
+      const TcFix fix = track(m, d, s);
+      run.track.hours.push_back(hours);
+      run.track.fixes.push_back(fix);
+      run.deepest_ps = std::min(run.deepest_ps, fix.min_ps);
+    }
+  }
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < run.track.fixes.size(); ++i) {
+    double rlat, rlon;
+    reference_center(cfg.vortex, run.track.hours[i] * 3600.0,
+                     mesh::kEarthRadius, rlat, rlon);
+    err += great_circle(run.track.fixes[i].lat, run.track.fixes[i].lon, rlat,
+                        rlon, mesh::kEarthRadius);
+  }
+  run.mean_track_error_km =
+      err / static_cast<double>(run.track.fixes.size()) / 1000.0;
+  run.intensity_retention =
+      run.track.fixes.back().msw / std::max(1e-9, fix0.msw);
+  return run;
+}
+
+KatrinaResult run_katrina(const KatrinaConfig& cfg) {
+  KatrinaResult out;
+  out.coarse = run_katrina_at(cfg.ne_coarse, cfg);
+  out.fine = run_katrina_at(cfg.ne_fine, cfg);
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,84 @@
+#include "tc/tracker.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tc/vortex.hpp"
+
+namespace tc {
+
+using homme::fidx;
+using mesh::kNpp;
+
+TcFix track(const mesh::CubedSphere& m, const homme::Dims& d,
+            const homme::State& s, double search_radius) {
+  TcFix fix;
+  fix.min_ps = std::numeric_limits<double>::max();
+
+  // Surface pressure per GLL point; remember the minimum.
+  std::vector<double> ps_of(static_cast<std::size_t>(m.nelem()) * kNpp);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& es = s[static_cast<std::size_t>(e)];
+    const auto& g = m.geom(e);
+    for (int k = 0; k < kNpp; ++k) {
+      double ps = homme::kPtop;
+      for (int lev = 0; lev < d.nlev; ++lev) ps += es.dp[fidx(lev, k)];
+      ps_of[static_cast<std::size_t>(e * kNpp + k)] = ps;
+      if (ps < fix.min_ps) {
+        fix.min_ps = ps;
+        fix.lat = g.lat[static_cast<std::size_t>(k)];
+        fix.lon = g.lon[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  // Refine center: deficit-weighted centroid over the neighborhood.
+  double wsum = 0.0, lat_acc = 0.0, lon_acc = 0.0;
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const double r =
+          great_circle(g.lat[sk], g.lon[sk], fix.lat, fix.lon, m.radius());
+      if (r > search_radius) continue;
+      const double deficit = std::max(
+          0.0, homme::kP0 - ps_of[static_cast<std::size_t>(e * kNpp + k)]);
+      const double w = deficit * g.mass[sk];
+      wsum += w;
+      lat_acc += w * g.lat[sk];
+      double dlon = g.lon[sk] - fix.lon;
+      while (dlon > M_PI) dlon -= 2.0 * M_PI;
+      while (dlon < -M_PI) dlon += 2.0 * M_PI;
+      lon_acc += w * dlon;
+    }
+  }
+  if (wsum > 0.0) {
+    fix.lat = lat_acc / wsum;
+    fix.lon += lon_acc / wsum;
+  }
+
+  // Maximum sustained wind: peak physical wind speed in the lowest
+  // quarter of the column within the search radius.
+  const int lev_lo = 3 * d.nlev / 4;
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    const auto& es = s[static_cast<std::size_t>(e)];
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const double r =
+          great_circle(g.lat[sk], g.lon[sk], fix.lat, fix.lon, m.radius());
+      if (r > search_radius) continue;
+      for (int lev = lev_lo; lev < d.nlev; ++lev) {
+        const std::size_t f = fidx(lev, k);
+        const double u1 = es.u1[f], u2 = es.u2[f];
+        const double speed2 = g.g11[sk] * u1 * u1 +
+                              2.0 * g.g12[sk] * u1 * u2 +
+                              g.g22[sk] * u2 * u2;
+        fix.msw = std::max(fix.msw, std::sqrt(speed2));
+      }
+    }
+  }
+  return fix;
+}
+
+}  // namespace tc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file tracker.hpp
+/// Cyclone tracker: finds the storm center (minimum surface pressure,
+/// refined to a pressure-weighted centroid) and the maximum sustained
+/// wind (peak lower-tropospheric wind near the center) — the quantities
+/// plotted in Figure 9(c) and 9(d) of the paper.
+
+namespace tc {
+
+struct TcFix {
+  double lat = 0.0;
+  double lon = 0.0;
+  double min_ps = 0.0;  ///< central surface pressure, Pa
+  double msw = 0.0;     ///< maximum sustained wind, m/s
+};
+
+/// Locate the cyclone in \p s. \p search_radius (m) bounds the MSW search
+/// around the detected center.
+TcFix track(const mesh::CubedSphere& m, const homme::Dims& d,
+            const homme::State& s, double search_radius = 2.0e6);
+
+/// One track: fixes at successive output times plus their hour stamps.
+struct TcTrack {
+  std::vector<double> hours;
+  std::vector<TcFix> fixes;
+};
+
+}  // namespace tc

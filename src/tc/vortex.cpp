@@ -1,0 +1,93 @@
+#include "tc/vortex.hpp"
+
+#include <cmath>
+
+#include "homme/init.hpp"
+
+namespace tc {
+
+using homme::fidx;
+using mesh::kNpp;
+
+double great_circle(double lat1, double lon1, double lat2, double lon2,
+                    double radius) {
+  const double s = std::sin(lat1) * std::sin(lat2) +
+                   std::cos(lat1) * std::cos(lat2) * std::cos(lon2 - lon1);
+  return radius * std::acos(std::min(1.0, std::max(-1.0, s)));
+}
+
+void reference_center(const TcParams& p, double t, double radius,
+                      double& lat, double& lon) {
+  lat = p.lat0 + p.steering_v * t / radius;
+  lon = p.lon0 + p.steering_u * t / (radius * std::cos(p.lat0));
+}
+
+homme::State tc_initial_state(const mesh::CubedSphere& m,
+                              const homme::Dims& d, const TcParams& p) {
+  const homme::HybridCoord hc = homme::HybridCoord::uniform(d.nlev);
+  homme::State s;
+  s.reserve(static_cast<std::size_t>(m.nelem()));
+  const double radius = m.radius();
+
+  for (int e = 0; e < m.nelem(); ++e) {
+    const auto& g = m.geom(e);
+    homme::ElementState es(d);
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const double lat = g.lat[sk], lon = g.lon[sk];
+      const double r = great_circle(lat, lon, p.lat0, p.lon0, radius);
+      const double x = r / p.rm;
+
+      // Surface pressure deficit and tangential wind of the vortex.
+      const double ps =
+          homme::kP0 - p.dp_center * std::exp(-std::pow(x, 1.5));
+      const double vt = p.vmax * x * std::exp(1.0 - x);
+
+      // Unit vector of cyclonic (counter-clockwise, NH) swirl at this
+      // point: tangent to the circle around the center.
+      // East/north components from the bearing to the storm center.
+      const double dlon = lon - p.lon0;
+      const double ey = std::sin(lat) * std::cos(p.lat0) * std::cos(dlon) -
+                        std::cos(lat) * std::sin(p.lat0);
+      const double ex = std::cos(p.lat0) * std::sin(dlon);
+      const double norm = std::hypot(ex, ey);
+      // (ex, ey) points from center to this point; rotate +90 deg for
+      // cyclonic flow: (-ey, ex).
+      const double tx = norm > 1e-12 ? -ey / norm : 0.0;
+      const double ty = norm > 1e-12 ? ex / norm : 0.0;
+
+      for (int lev = 0; lev < d.nlev; ++lev) {
+        const std::size_t f = fidx(lev, k);
+        es.dp[f] = hc.dp_ref(lev, ps);
+        const double pm =
+            0.5 * (hc.p_int(lev, ps) + hc.p_int(lev + 1, ps));
+        const double sigma = pm / ps;
+        // Tropical sounding with a mid-level warm core over the vortex.
+        double T = p.t_surf * std::pow(sigma, p.lapse_exp);
+        T += p.warm_core * std::exp(-x * x) *
+             std::exp(-std::pow((sigma - 0.4) / 0.25, 2));
+        es.T[f] = T;
+
+        // Vortex wind decays with height; steering flow constant.
+        const double vertical = std::max(0.0, (sigma - 0.15) / 0.85);
+        const double ue = vt * tx * vertical + p.steering_u;
+        const double vn = vt * ty * vertical + p.steering_v;
+        double u1, u2;
+        homme::wind_to_contra(g, k, ue, vn, u1, u2);
+        es.u1[f] = u1;
+        es.u2[f] = u2;
+
+        // Moisture (tracer 0): moist boundary layer, drying upward.
+        if (d.qsize > 0) {
+          auto q = es.q(0, d);
+          q[f] = p.q_surf * std::pow(sigma, 3.0) * es.dp[f];
+        }
+      }
+      es.phis[sk] = 0.0;
+    }
+    s.push_back(std::move(es));
+  }
+  return s;
+}
+
+}  // namespace tc

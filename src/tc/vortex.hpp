@@ -1,0 +1,46 @@
+#pragma once
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file vortex.hpp
+/// Analytic tropical-cyclone initial condition (Reed-Jablonowski style):
+/// a warm-core vortex in approximate gradient-wind balance embedded in a
+/// quiescent tropical atmosphere with a uniform steering flow.
+///
+/// The paper's Katrina experiment (section 9) has no public initial data;
+/// this synthetic cyclone exercises the identical code path — a compact
+/// intense vortex whose track and intensity the model must hold, which is
+/// resolvable at the fine resolution and unresolvable at the coarse one
+/// (the Figure 9 ne120-vs-ne30 contrast).
+
+namespace tc {
+
+struct TcParams {
+  double lat0 = 0.44;       ///< initial center latitude (rad) ~ 25 N
+  double lon0 = -1.5;       ///< initial center longitude (rad)
+  double vmax = 30.0;       ///< peak tangential wind, m/s
+  double rm = 6.0e5;        ///< radius of maximum wind, m (synthetic, broad)
+  double dp_center = 3.0e3; ///< central surface pressure deficit, Pa
+  double warm_core = 3.0;   ///< mid-level warm anomaly, K
+  double t_surf = 302.0;    ///< surface air temperature, K
+  double lapse_exp = 0.19;  ///< T ~ Ts (p/ps)^lapse_exp (~6.5 K/km)
+  double steering_u = -4.0; ///< uniform easterly steering, m/s
+  double steering_v = 1.5;  ///< slow poleward drift, m/s
+  double q_surf = 0.016;    ///< boundary-layer specific humidity
+};
+
+/// Build the full-domain initial state with the embedded vortex.
+homme::State tc_initial_state(const mesh::CubedSphere& m,
+                              const homme::Dims& d, const TcParams& p);
+
+/// Great-circle distance (m) between two (lat, lon) points.
+double great_circle(double lat1, double lon1, double lat2, double lon2,
+                    double radius);
+
+/// Analytic steering-flow trajectory at time t (s): where the reference
+/// ("observed") cyclone center sits.
+void reference_center(const TcParams& p, double t, double radius,
+                      double& lat, double& lon);
+
+}  // namespace tc

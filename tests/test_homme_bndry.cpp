@@ -1,0 +1,245 @@
+#include "homme/bndry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "homme/dss.hpp"
+#include "homme/state.hpp"
+#include "mesh/partition.hpp"
+#include "net/mini_mpi.hpp"
+
+namespace {
+
+using homme::BndryExchange;
+using homme::fidx;
+using mesh::kNpp;
+
+/// Build a synthetic discontinuous multi-level field over all elements.
+std::vector<std::vector<double>> make_field(int nelem, int nlev) {
+  std::vector<std::vector<double>> f(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    auto& buf = f[static_cast<std::size_t>(e)];
+    buf.resize(static_cast<std::size_t>(nlev) * kNpp);
+    for (int lev = 0; lev < nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        buf[fidx(lev, k)] =
+            std::sin(0.1 * e) + 0.01 * k + 0.3 * lev + 0.001 * e * k;
+      }
+    }
+  }
+  return f;
+}
+
+/// Run the distributed DSS over a Cluster and splice results back into a
+/// global per-element array.
+std::vector<std::vector<double>> distributed_dss(
+    const mesh::CubedSphere& m, int nranks, int nlev,
+    const std::vector<std::vector<double>>& input, BndryExchange::Mode mode) {
+  auto part = mesh::Partition::build(m, nranks);
+  auto plan = mesh::CommPlan::build(m, part);
+  auto result = input;
+  net::Cluster cluster(nranks);
+  std::mutex mu;
+  cluster.run([&](net::Rank& r) {
+    BndryExchange bx(m, part, plan, r.rank());
+    // Local working copies.
+    std::vector<std::vector<double>> local(
+        static_cast<std::size_t>(bx.nlocal()));
+    std::vector<double*> ptrs(static_cast<std::size_t>(bx.nlocal()));
+    for (int le = 0; le < bx.nlocal(); ++le) {
+      local[static_cast<std::size_t>(le)] =
+          input[static_cast<std::size_t>(bx.global_elem(le))];
+      ptrs[static_cast<std::size_t>(le)] =
+          local[static_cast<std::size_t>(le)].data();
+    }
+    bx.dss_levels(r, ptrs, nlev, mode);
+    std::lock_guard<std::mutex> lock(mu);
+    for (int le = 0; le < bx.nlocal(); ++le) {
+      result[static_cast<std::size_t>(bx.global_elem(le))] =
+          local[static_cast<std::size_t>(le)];
+    }
+  });
+  return result;
+}
+
+struct BndryCase {
+  int ne;
+  int nranks;
+  int nlev;
+  BndryExchange::Mode mode;
+};
+
+class BndryModes : public ::testing::TestWithParam<BndryCase> {};
+
+TEST_P(BndryModes, MatchesSequentialDss) {
+  const auto p = GetParam();
+  auto m = mesh::CubedSphere::build(p.ne, mesh::kEarthRadius);
+  auto input = make_field(m.nelem(), p.nlev);
+
+  // Sequential reference.
+  auto ref = input;
+  std::vector<double*> refp(static_cast<std::size_t>(m.nelem()));
+  for (int e = 0; e < m.nelem(); ++e) {
+    refp[static_cast<std::size_t>(e)] = ref[static_cast<std::size_t>(e)].data();
+  }
+  homme::dss_levels(m, refp, p.nlev);
+
+  auto got = distributed_dss(m, p.nranks, p.nlev, input, p.mode);
+  for (int e = 0; e < m.nelem(); ++e) {
+    for (std::size_t f = 0; f < got[static_cast<std::size_t>(e)].size(); ++f) {
+      ASSERT_NEAR(got[static_cast<std::size_t>(e)][f],
+                  ref[static_cast<std::size_t>(e)][f],
+                  1e-12 * std::abs(ref[static_cast<std::size_t>(e)][f]) +
+                      1e-12)
+          << "elem " << e << " flat " << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshesRanksModes, BndryModes,
+    ::testing::Values(
+        BndryCase{2, 2, 3, BndryExchange::Mode::kOriginal},
+        BndryCase{2, 2, 3, BndryExchange::Mode::kOverlap},
+        BndryCase{3, 6, 2, BndryExchange::Mode::kOriginal},
+        BndryCase{3, 6, 2, BndryExchange::Mode::kOverlap},
+        BndryCase{4, 13, 1, BndryExchange::Mode::kOriginal},
+        BndryCase{4, 13, 1, BndryExchange::Mode::kOverlap},
+        BndryCase{3, 1, 2, BndryExchange::Mode::kOverlap}));
+
+TEST(Bndry, OverlapAndOriginalAreBitIdentical) {
+  auto m = mesh::CubedSphere::build(3, mesh::kEarthRadius);
+  auto input = make_field(m.nelem(), 4);
+  auto a = distributed_dss(m, 6, 4, input, BndryExchange::Mode::kOriginal);
+  auto b = distributed_dss(m, 6, 4, input, BndryExchange::Mode::kOverlap);
+  for (int e = 0; e < m.nelem(); ++e) {
+    for (std::size_t f = 0; f < a[static_cast<std::size_t>(e)].size(); ++f) {
+      ASSERT_EQ(a[static_cast<std::size_t>(e)][f],
+                b[static_cast<std::size_t>(e)][f]);
+    }
+  }
+}
+
+TEST(Bndry, RedesignRemovesPackBufferCopies) {
+  auto m = mesh::CubedSphere::build(4, mesh::kEarthRadius);
+  auto part = mesh::Partition::build(m, 4);
+  auto plan = mesh::CommPlan::build(m, part);
+  auto input = make_field(m.nelem(), 8);
+  std::size_t copies_orig = 0, copies_overlap = 0;
+  std::size_t msg_orig = 0, msg_overlap = 0;
+  net::Cluster cluster(4);
+  std::mutex mu;
+  for (auto mode :
+       {BndryExchange::Mode::kOriginal, BndryExchange::Mode::kOverlap}) {
+    cluster.run([&](net::Rank& r) {
+      BndryExchange bx(m, part, plan, r.rank());
+      std::vector<std::vector<double>> local(
+          static_cast<std::size_t>(bx.nlocal()));
+      std::vector<double*> ptrs(static_cast<std::size_t>(bx.nlocal()));
+      for (int le = 0; le < bx.nlocal(); ++le) {
+        local[static_cast<std::size_t>(le)] =
+            input[static_cast<std::size_t>(bx.global_elem(le))];
+        ptrs[static_cast<std::size_t>(le)] =
+            local[static_cast<std::size_t>(le)].data();
+      }
+      bx.dss_levels(r, ptrs, 8, mode);
+      std::lock_guard<std::mutex> lock(mu);
+      if (mode == BndryExchange::Mode::kOriginal) {
+        copies_orig += bx.last_copy_bytes();
+        msg_orig += bx.last_msg_bytes();
+      } else {
+        copies_overlap += bx.last_copy_bytes();
+        msg_overlap += bx.last_msg_bytes();
+      }
+    });
+  }
+  EXPECT_EQ(msg_orig, msg_overlap);       // same communication volume
+  EXPECT_GT(copies_orig, copies_overlap); // fewer memory copies (section 7.6)
+  EXPECT_NEAR(static_cast<double>(copies_orig),
+              3.0 * static_cast<double>(copies_overlap), 1.0);
+}
+
+TEST(Bndry, InteriorBoundarySplitCoversAllElements) {
+  auto m = mesh::CubedSphere::build(4, mesh::kEarthRadius);
+  auto part = mesh::Partition::build(m, 6);
+  auto plan = mesh::CommPlan::build(m, part);
+  for (int r = 0; r < 6; ++r) {
+    BndryExchange bx(m, part, plan, r);
+    EXPECT_EQ(bx.interior_elements().size() + bx.boundary_elements().size(),
+              static_cast<std::size_t>(bx.nlocal()));
+    // With an SFC partition of 96 elements over 6 ranks, each rank should
+    // have a nonempty boundary and (usually) some interior.
+    EXPECT_FALSE(bx.boundary_elements().empty());
+  }
+}
+
+TEST(Bndry, VectorDssMatchesSequential) {
+  auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  const int nlev = 2;
+  const int nelem = m.nelem();
+  auto u1 = make_field(nelem, nlev);
+  auto u2 = make_field(nelem, nlev);
+  for (auto& e : u2) {
+    for (auto& x : e) x = 0.3 * x - 1.0;
+  }
+  // Scale down to wind-like magnitudes in contravariant units.
+  for (auto* f : {&u1, &u2}) {
+    for (auto& e : *f) {
+      for (auto& x : e) x *= 1e-6;
+    }
+  }
+  auto ru1 = u1, ru2 = u2;
+  std::vector<double*> p1(static_cast<std::size_t>(nelem)),
+      p2(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    p1[static_cast<std::size_t>(e)] = ru1[static_cast<std::size_t>(e)].data();
+    p2[static_cast<std::size_t>(e)] = ru2[static_cast<std::size_t>(e)].data();
+  }
+  homme::dss_vector_levels(m, p1, p2, nlev);
+
+  auto part = mesh::Partition::build(m, 3);
+  auto plan = mesh::CommPlan::build(m, part);
+  auto gu1 = u1, gu2 = u2;
+  net::Cluster cluster(3);
+  std::mutex mu;
+  cluster.run([&](net::Rank& r) {
+    BndryExchange bx(m, part, plan, r.rank());
+    std::vector<std::vector<double>> l1(static_cast<std::size_t>(bx.nlocal())),
+        l2(static_cast<std::size_t>(bx.nlocal()));
+    std::vector<double*> q1(static_cast<std::size_t>(bx.nlocal())),
+        q2(static_cast<std::size_t>(bx.nlocal()));
+    for (int le = 0; le < bx.nlocal(); ++le) {
+      l1[static_cast<std::size_t>(le)] =
+          u1[static_cast<std::size_t>(bx.global_elem(le))];
+      l2[static_cast<std::size_t>(le)] =
+          u2[static_cast<std::size_t>(bx.global_elem(le))];
+      q1[static_cast<std::size_t>(le)] = l1[static_cast<std::size_t>(le)].data();
+      q2[static_cast<std::size_t>(le)] = l2[static_cast<std::size_t>(le)].data();
+    }
+    bx.dss_vector_levels(r, q1, q2, nlev, BndryExchange::Mode::kOverlap);
+    std::lock_guard<std::mutex> lock(mu);
+    for (int le = 0; le < bx.nlocal(); ++le) {
+      gu1[static_cast<std::size_t>(bx.global_elem(le))] =
+          l1[static_cast<std::size_t>(le)];
+      gu2[static_cast<std::size_t>(bx.global_elem(le))] =
+          l2[static_cast<std::size_t>(le)];
+    }
+  });
+
+  for (int e = 0; e < nelem; ++e) {
+    for (std::size_t f = 0; f < gu1[static_cast<std::size_t>(e)].size();
+         ++f) {
+      ASSERT_NEAR(gu1[static_cast<std::size_t>(e)][f],
+                  ru1[static_cast<std::size_t>(e)][f],
+                  1e-12 + 1e-9 * std::abs(ru1[static_cast<std::size_t>(e)][f]));
+      ASSERT_NEAR(gu2[static_cast<std::size_t>(e)][f],
+                  ru2[static_cast<std::size_t>(e)][f],
+                  1e-12 + 1e-9 * std::abs(ru2[static_cast<std::size_t>(e)][f]));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "mesh/gll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using mesh::gll;
+using mesh::kNp;
+
+TEST(Gll, NodesAreSymmetricAndSpanInterval) {
+  const auto& b = gll();
+  EXPECT_DOUBLE_EQ(b.nodes[0], -1.0);
+  EXPECT_DOUBLE_EQ(b.nodes[kNp - 1], 1.0);
+  for (int i = 0; i < kNp; ++i) {
+    EXPECT_NEAR(b.nodes[static_cast<std::size_t>(i)],
+                -b.nodes[static_cast<std::size_t>(kNp - 1 - i)], 1e-15);
+  }
+}
+
+TEST(Gll, WeightsSumToIntervalLength) {
+  const auto& b = gll();
+  double sum = 0;
+  for (double w : b.weights) sum += w;
+  EXPECT_NEAR(sum, 2.0, 1e-14);
+}
+
+class GllQuadratureExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllQuadratureExactness, IntegratesMonomialExactly) {
+  // GLL quadrature with np points is exact through degree 2*np - 3 = 5.
+  const int degree = GetParam();
+  const auto& b = gll();
+  double q = 0;
+  for (int i = 0; i < kNp; ++i) {
+    q += b.weights[static_cast<std::size_t>(i)] *
+         std::pow(b.nodes[static_cast<std::size_t>(i)], degree);
+  }
+  const double exact = (degree % 2 == 1) ? 0.0 : 2.0 / (degree + 1);
+  EXPECT_NEAR(q, exact, 1e-13) << "degree " << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesThroughFive, GllQuadratureExactness,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+class GllDerivativeExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllDerivativeExactness, DifferentiatesPolynomialExactly) {
+  // The collocation derivative is exact for polynomials of degree < np.
+  const int degree = GetParam();
+  const auto& b = gll();
+  for (int i = 0; i < kNp; ++i) {
+    double d = 0;
+    for (int j = 0; j < kNp; ++j) {
+      d += b.deriv[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           std::pow(b.nodes[static_cast<std::size_t>(j)], degree);
+    }
+    const double exact =
+        degree == 0
+            ? 0.0
+            : degree *
+                  std::pow(b.nodes[static_cast<std::size_t>(i)], degree - 1);
+    EXPECT_NEAR(d, exact, 1e-12) << "degree " << degree << " node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesThroughThree, GllDerivativeExactness,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Gll, DerivativeRowsSumToZero) {
+  // Constants differentiate to zero: each row of D sums to 0.
+  const auto& b = gll();
+  for (int i = 0; i < kNp; ++i) {
+    double s = 0;
+    for (int j = 0; j < kNp; ++j) {
+      s += b.deriv[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(s, 0.0, 1e-13);
+  }
+}
+
+TEST(Gll, CardinalFunctionsAreKroneckerAtNodes) {
+  const auto& b = gll();
+  for (int i = 0; i < kNp; ++i) {
+    for (int j = 0; j < kNp; ++j) {
+      EXPECT_NEAR(b.cardinal(j, b.nodes[static_cast<std::size_t>(i)]),
+                  i == j ? 1.0 : 0.0, 1e-13);
+    }
+  }
+}
+
+TEST(Gll, CardinalFunctionsPartitionUnity) {
+  const auto& b = gll();
+  for (double x : {-0.9, -0.3, 0.1, 0.77}) {
+    double s = 0;
+    for (int j = 0; j < kNp; ++j) s += b.cardinal(j, x);
+    EXPECT_NEAR(s, 1.0, 1e-13);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "mesh/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using mesh::CommPlan;
+using mesh::CubedSphere;
+using mesh::Partition;
+
+TEST(Hilbert, VisitsEveryCellOnce) {
+  constexpr int kOrder = 3;
+  constexpr int kSide = 1 << kOrder;
+  std::set<long long> seen;
+  for (int x = 0; x < kSide; ++x) {
+    for (int y = 0; y < kSide; ++y) {
+      seen.insert(mesh::hilbert_d(kOrder, x, y));
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kSide * kSide));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kSide * kSide - 1);
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreAdjacentCells) {
+  constexpr int kOrder = 4;
+  constexpr int kSide = 1 << kOrder;
+  std::vector<std::pair<int, int>> by_d(kSide * kSide);
+  for (int x = 0; x < kSide; ++x) {
+    for (int y = 0; y < kSide; ++y) {
+      by_d[static_cast<std::size_t>(mesh::hilbert_d(kOrder, x, y))] = {x, y};
+    }
+  }
+  for (std::size_t d = 1; d < by_d.size(); ++d) {
+    const int dx = std::abs(by_d[d].first - by_d[d - 1].first);
+    const int dy = std::abs(by_d[d].second - by_d[d - 1].second);
+    EXPECT_EQ(dx + dy, 1) << "jump at d=" << d;
+  }
+}
+
+class PartitionBalance
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PartitionBalance, EveryRankGetsBalancedContiguousWork) {
+  const auto [ne, nranks] = GetParam();
+  auto m = CubedSphere::build(ne, 1.0);
+  auto p = Partition::build(m, nranks);
+  std::size_t total = 0;
+  const int base = m.nelem() / nranks;
+  for (int r = 0; r < nranks; ++r) {
+    const auto& elems = p.rank_elems[static_cast<std::size_t>(r)];
+    total += elems.size();
+    EXPECT_GE(static_cast<int>(elems.size()), base);
+    EXPECT_LE(static_cast<int>(elems.size()), base + 1);
+    for (int e : elems) EXPECT_EQ(p.owner(e), r);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(m.nelem()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionBalance,
+    ::testing::Values(std::pair{2, 1}, std::pair{2, 4}, std::pair{3, 6},
+                      std::pair{4, 6}, std::pair{4, 13}, std::pair{5, 24}));
+
+TEST(Partition, SfcKeepsPartitionsCompact) {
+  // With an SFC partition, a rank's elements should mostly neighbor
+  // elements of the same rank: the cut fraction stays well below a random
+  // assignment's.
+  auto m = CubedSphere::build(6, 1.0);
+  auto p = Partition::build(m, 8);
+  int cut = 0, total = 0;
+  for (int e = 0; e < m.nelem(); ++e) {
+    for (int nb : m.edge_neighbors(e)) {
+      ++total;
+      if (p.owner(nb) != p.owner(e)) ++cut;
+    }
+  }
+  EXPECT_LT(static_cast<double>(cut) / total, 0.45);
+}
+
+TEST(CommPlanTest, NeighborListsAreSymmetric) {
+  auto m = CubedSphere::build(4, 1.0);
+  auto p = Partition::build(m, 6);
+  auto plan = CommPlan::build(m, p);
+  ASSERT_EQ(plan.per_rank.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    for (const auto& nb : plan.per_rank[static_cast<std::size_t>(r)]) {
+      // Find r in nb.rank's list with the identical node set.
+      bool found = false;
+      for (const auto& back :
+           plan.per_rank[static_cast<std::size_t>(nb.rank)]) {
+        if (back.rank == r) {
+          EXPECT_EQ(back.nodes, nb.nodes);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "rank " << nb.rank << " missing back-edge to "
+                         << r;
+    }
+  }
+}
+
+TEST(CommPlanTest, SharedNodesTouchBothRanks) {
+  auto m = CubedSphere::build(3, 1.0);
+  auto p = Partition::build(m, 4);
+  auto plan = CommPlan::build(m, p);
+  for (int r = 0; r < 4; ++r) {
+    for (const auto& nb : plan.per_rank[static_cast<std::size_t>(r)]) {
+      for (int node : nb.nodes) {
+        std::set<int> ranks;
+        for (const auto& [e, k] : m.node_elems(node)) {
+          ranks.insert(p.owner(e));
+        }
+        EXPECT_TRUE(ranks.count(r) && ranks.count(nb.rank));
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include "net/mini_mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using net::Cluster;
+using net::Rank;
+
+TEST(MiniMpi, PointToPointRoundTrip) {
+  Cluster cluster(2);
+  std::vector<double> received(4, 0.0);
+  cluster.run([&](Rank& r) {
+    std::vector<double> data = {1, 2, 3, 4};
+    if (r.rank() == 0) {
+      r.send(1, 7, data);
+    } else {
+      r.recv(0, 7, received);
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(MiniMpi, TagsDisambiguateMessages) {
+  Cluster cluster(2);
+  double a = 0, b = 0;
+  cluster.run([&](Rank& r) {
+    if (r.rank() == 0) {
+      std::vector<double> x = {10.0}, y = {20.0};
+      r.send(1, 2, x);
+      r.send(1, 1, y);
+    } else {
+      // Receive in the opposite order of sending.
+      r.recv(0, 1, std::span<double>(&b, 1));
+      r.recv(0, 2, std::span<double>(&a, 1));
+    }
+  });
+  EXPECT_EQ(a, 10.0);
+  EXPECT_EQ(b, 20.0);
+}
+
+TEST(MiniMpi, IrecvWaitCompletes) {
+  Cluster cluster(2);
+  std::vector<double> out(3, 0.0);
+  cluster.run([&](Rank& r) {
+    if (r.rank() == 0) {
+      std::vector<double> data = {5, 6, 7};
+      auto req = r.isend(1, 0, data);
+      r.wait(req);
+    } else {
+      auto req = r.irecv(0, 0, out);
+      r.wait(req);
+    }
+  });
+  EXPECT_EQ(out, (std::vector<double>{5, 6, 7}));
+}
+
+TEST(MiniMpi, AllreduceSum) {
+  Cluster cluster(8);
+  std::vector<double> results(8, -1.0);
+  cluster.run([&](Rank& r) {
+    results[static_cast<std::size_t>(r.rank())] =
+        r.allreduce_sum(static_cast<double>(r.rank() + 1));
+  });
+  for (double v : results) EXPECT_EQ(v, 36.0);  // 1+...+8
+}
+
+TEST(MiniMpi, BackToBackCollectivesDoNotInterfere) {
+  Cluster cluster(6);
+  std::vector<double> second(6, 0.0);
+  cluster.run([&](Rank& r) {
+    (void)r.allreduce_sum(1.0);
+    (void)r.allreduce_sum(2.0);
+    second[static_cast<std::size_t>(r.rank())] = r.allreduce_sum(3.0);
+  });
+  for (double v : second) EXPECT_EQ(v, 18.0);
+}
+
+TEST(MiniMpi, AllreduceMaxMin) {
+  Cluster cluster(5);
+  cluster.run([&](Rank& r) {
+    const double x = static_cast<double>(r.rank());
+    EXPECT_EQ(r.allreduce_max(x), 4.0);
+    EXPECT_EQ(r.allreduce_min(x), 0.0);
+  });
+}
+
+TEST(MiniMpi, AllgatherOrdersByRank) {
+  Cluster cluster(4);
+  cluster.run([&](Rank& r) {
+    auto all = r.allgather(10.0 * r.rank());
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], 10.0 * i);
+    }
+  });
+}
+
+TEST(MiniMpi, BarrierOrdersSideEffects) {
+  Cluster cluster(4);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  cluster.run([&](Rank& r) {
+    before.fetch_add(1);
+    r.barrier();
+    if (before.load() != 4) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, ManyRanksHaloPattern) {
+  // A ring halo exchange: every rank sends to both sides, receives both.
+  constexpr int kN = 12;
+  Cluster cluster(kN);
+  std::vector<double> sums(kN, 0.0);
+  cluster.run([&](Rank& r) {
+    const int left = (r.rank() + kN - 1) % kN;
+    const int right = (r.rank() + 1) % kN;
+    std::vector<double> mine = {static_cast<double>(r.rank())};
+    r.send(left, 0, mine);
+    r.send(right, 1, mine);
+    std::vector<double> from_left(1), from_right(1);
+    r.recv(left, 1, from_left);
+    r.recv(right, 0, from_right);
+    sums[static_cast<std::size_t>(r.rank())] = from_left[0] + from_right[0];
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(i)],
+              static_cast<double>((i + kN - 1) % kN + (i + 1) % kN));
+  }
+}
+
+TEST(MiniMpi, LengthMismatchThrows) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](Rank& r) {
+    if (r.rank() == 0) {
+      std::vector<double> data = {1, 2, 3};
+      r.send(1, 0, data);
+    } else {
+      std::vector<double> out(5);
+      r.recv(0, 0, out);
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.run([&](Rank& r) {
+    if (r.rank() == 2) throw std::logic_error("boom");
+  }),
+               std::logic_error);
+}
+
+TEST(MiniMpi, ClusterReusableAcrossRuns) {
+  Cluster cluster(3);
+  for (int iter = 0; iter < 3; ++iter) {
+    double result = 0;
+    cluster.run([&](Rank& r) {
+      const double s = r.allreduce_sum(1.0);
+      if (r.rank() == 0) result = s;
+    });
+    EXPECT_EQ(result, 3.0);
+  }
+}
+
+}  // namespace

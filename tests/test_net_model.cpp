@@ -1,0 +1,54 @@
+#include "net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using net::NetworkModel;
+
+TEST(NetworkModel, HierarchyMapping) {
+  NetworkModel nm;
+  // 4 CGs per processor, 256 processors per supernode.
+  EXPECT_EQ(nm.processor_of(0), 0);
+  EXPECT_EQ(nm.processor_of(3), 0);
+  EXPECT_EQ(nm.processor_of(4), 1);
+  EXPECT_EQ(nm.supernode_of(0), 0);
+  EXPECT_EQ(nm.supernode_of(4 * 256 - 1), 0);
+  EXPECT_EQ(nm.supernode_of(4 * 256), 1);
+}
+
+TEST(NetworkModel, LatencyClassesAreOrdered) {
+  NetworkModel nm;
+  const double intra_node = nm.alpha(0, 1);
+  const double intra_super = nm.alpha(0, 8);
+  const double inter_super = nm.alpha(0, 4 * 256 + 1);
+  EXPECT_LT(intra_node, intra_super);
+  EXPECT_LT(intra_super, inter_super);
+}
+
+TEST(NetworkModel, Pt2PtScalesWithBytes) {
+  NetworkModel nm;
+  const double small = nm.pt2pt_seconds(0, 8, 1024);
+  const double large = nm.pt2pt_seconds(0, 8, 1024 * 1024);
+  EXPECT_GT(large, small);
+  // Large messages approach pure bandwidth: 1 MiB at 8 GB/s ~ 131 us.
+  EXPECT_NEAR(large, 1.5e-6 + 1048576.0 / 8e9, 1e-6);
+}
+
+TEST(NetworkModel, HaloCostGrowsWithRemoteFraction) {
+  NetworkModel nm;
+  const double local = nm.halo_exchange_seconds(8, 4096, 0.0);
+  const double remote = nm.halo_exchange_seconds(8, 4096, 1.0);
+  EXPECT_GT(remote, local);
+}
+
+TEST(NetworkModel, AllreduceGrowsLogarithmically) {
+  NetworkModel nm;
+  const double small = nm.allreduce_seconds(64, 8);
+  const double large = nm.allreduce_seconds(65536, 8);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 30.0 * small);  // log, not linear
+  EXPECT_EQ(nm.allreduce_seconds(1, 8), 0.0);
+}
+
+}  // namespace

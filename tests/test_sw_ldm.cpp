@@ -1,0 +1,78 @@
+#include "sw/ldm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Ldm, AllocatesWithinCapacity) {
+  sw::Ldm ldm;
+  auto a = ldm.alloc<double>(1024);
+  EXPECT_EQ(a.size(), 1024u);
+  EXPECT_GE(ldm.used(), 1024 * sizeof(double));
+  EXPECT_LE(ldm.used(), sw::kLdmBytes);
+}
+
+TEST(Ldm, ReturnsAlignedPointers) {
+  sw::Ldm ldm;
+  (void)ldm.alloc<char>(3);
+  auto v = ldm.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 32, 0u);
+}
+
+TEST(Ldm, ThrowsOnOverflow) {
+  sw::Ldm ldm;
+  (void)ldm.alloc<double>(sw::kLdmBytes / sizeof(double) - 16);
+  EXPECT_THROW((void)ldm.alloc<double>(64), sw::LdmOverflow);
+}
+
+TEST(Ldm, ExactCapacityFits) {
+  sw::Ldm ldm;
+  EXPECT_NO_THROW((void)ldm.alloc<std::byte>(sw::kLdmBytes));
+  EXPECT_EQ(ldm.free_bytes(), 0u);
+  EXPECT_THROW((void)ldm.alloc<std::byte>(1), sw::LdmOverflow);
+}
+
+TEST(Ldm, FrameRestoresMark) {
+  sw::Ldm ldm;
+  (void)ldm.alloc<double>(8);
+  const std::size_t before = ldm.used();
+  {
+    sw::LdmFrame frame(ldm);
+    (void)ldm.alloc<double>(512);
+    EXPECT_GT(ldm.used(), before);
+  }
+  EXPECT_EQ(ldm.used(), before);
+}
+
+TEST(Ldm, FramesNest) {
+  sw::Ldm ldm;
+  sw::LdmFrame outer(ldm);
+  (void)ldm.alloc<double>(16);
+  const std::size_t mid = ldm.used();
+  {
+    sw::LdmFrame inner(ldm);
+    (void)ldm.alloc<double>(16);
+  }
+  EXPECT_EQ(ldm.used(), mid);
+}
+
+TEST(Ldm, PeakTracksHighWaterMark) {
+  sw::Ldm ldm;
+  {
+    sw::LdmFrame frame(ldm);
+    (void)ldm.alloc<double>(1000);
+  }
+  EXPECT_GE(ldm.peak(), 1000 * sizeof(double));
+  EXPECT_EQ(ldm.used(), 0u);
+}
+
+TEST(Ldm, DistinctAllocationsDoNotOverlap) {
+  sw::Ldm ldm;
+  auto a = ldm.alloc<double>(10);
+  auto b = ldm.alloc<double>(10);
+  for (auto& x : a) x = 1.0;
+  for (auto& x : b) x = 2.0;
+  for (auto x : a) EXPECT_EQ(x, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sw/core_group.hpp"
+#include "sw/task.hpp"
+
+namespace {
+
+using sw::CoreGroup;
+using sw::Cpe;
+using sw::Task;
+using sw::v4d;
+
+TEST(Scheduler, RunsAllCpesToCompletion) {
+  CoreGroup cg;
+  std::vector<int> visited(sw::kCpesPerGroup, 0);
+  auto stats = cg.run([&](Cpe& cpe) -> Task {
+    visited[static_cast<std::size_t>(cpe.id())] = 1;
+    co_return;
+  });
+  EXPECT_EQ(std::accumulate(visited.begin(), visited.end(), 0),
+            sw::kCpesPerGroup);
+  EXPECT_GE(stats.cycles, 0.0);
+}
+
+TEST(Scheduler, RowColIdsMatchMeshLayout) {
+  CoreGroup cg;
+  cg.run([&](Cpe& cpe) -> Task {
+    EXPECT_EQ(cpe.id(), cpe.row() * sw::kCpeCols + cpe.col());
+    EXPECT_LT(cpe.row(), sw::kCpeRows);
+    EXPECT_LT(cpe.col(), sw::kCpeCols);
+    co_return;
+  });
+}
+
+TEST(Scheduler, FlopAccountingAggregates) {
+  CoreGroup cg;
+  auto stats = cg.run([&](Cpe& cpe) -> Task {
+    cpe.scalar_flops(100);
+    cpe.vector_flops(800);
+    co_return;
+  });
+  EXPECT_EQ(stats.totals.scalar_flops, 100u * sw::kCpesPerGroup);
+  EXPECT_EQ(stats.totals.vector_flops, 800u * sw::kCpesPerGroup);
+  // 100 scalar cycles + 800/8 vector cycles.
+  EXPECT_DOUBLE_EQ(stats.cycles, 200.0);
+}
+
+TEST(Scheduler, VectorFlopsAreEightTimesDenser) {
+  CoreGroup cg;
+  auto scalar = cg.run([&](Cpe& cpe) -> Task {
+    cpe.scalar_flops(8000);
+    co_return;
+  });
+  auto vec = cg.run([&](Cpe& cpe) -> Task {
+    cpe.vector_flops(8000);
+    co_return;
+  });
+  EXPECT_DOUBLE_EQ(scalar.cycles / vec.cycles, 8.0);
+}
+
+TEST(Scheduler, DmaCopiesData) {
+  CoreGroup cg;
+  std::vector<double> mem(64);
+  std::iota(mem.begin(), mem.end(), 0.0);
+  std::vector<double> out(64, -1.0);
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        auto buf = cpe.ldm().alloc<double>(64);
+        cpe.get(buf, mem.data());
+        for (auto& x : buf) x *= 2.0;
+        cpe.vector_flops(64);
+        cpe.put(out.data(), std::span<const double>(buf));
+        co_return;
+      },
+      /*ncpes=*/1);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 2.0 * i);
+}
+
+TEST(Scheduler, DmaCountsTraffic) {
+  CoreGroup cg;
+  std::vector<double> mem(1024, 1.0);
+  auto stats = cg.run([&](Cpe& cpe) -> Task {
+    auto buf = cpe.ldm().alloc<double>(16);
+    cpe.get(buf, mem.data() + 16 * cpe.id());
+    co_return;
+  });
+  EXPECT_EQ(stats.totals.dma_get_bytes,
+            16u * sizeof(double) * sw::kCpesPerGroup);
+  EXPECT_EQ(stats.totals.dma_ops, static_cast<std::uint64_t>(sw::kCpesPerGroup));
+}
+
+TEST(Scheduler, DmaContentionSerializesThroughMemoryController) {
+  CoreGroup cg;
+  std::vector<double> mem(8192, 1.0);
+  const std::size_t chunk = 8192 / sw::kCpesPerGroup;
+  auto one = cg.run(
+      [&](Cpe& cpe) -> Task {
+        auto buf = cpe.ldm().alloc<double>(chunk);
+        cpe.get(buf, mem.data());
+        co_return;
+      },
+      /*ncpes=*/1);
+  auto all = cg.run([&](Cpe& cpe) -> Task {
+    auto buf = cpe.ldm().alloc<double>(chunk);
+    cpe.get(buf, mem.data() + chunk * cpe.id());
+    co_return;
+  });
+  // 64 CPEs moving 64x the data through one memory controller must take
+  // roughly 64x the bus time (startup latencies overlap).
+  EXPECT_GT(all.cycles, 32.0 * (one.cycles - sw::kDmaStartupCycles));
+}
+
+TEST(Scheduler, StridedDmaGathers) {
+  CoreGroup cg;
+  std::vector<double> mem(100);
+  std::iota(mem.begin(), mem.end(), 0.0);
+  std::vector<double> out(8, 0.0);
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        auto buf = cpe.ldm().alloc<double>(8);
+        // Gather 8 blocks of 1 double, stride 10 doubles.
+        cpe.dma_wait(cpe.dma_get_strided(buf.data(), mem.data(),
+                                         sizeof(double), 8,
+                                         10 * sizeof(double)));
+        cpe.put(out.data(), std::span<const double>(buf));
+        co_return;
+      },
+      /*ncpes=*/1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], 10.0 * i);
+}
+
+TEST(Scheduler, RegisterCommunicationDeliversInOrder) {
+  CoreGroup cg;
+  std::vector<double> got;
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        if (cpe.id() == 0) {
+          for (int i = 0; i < 10; ++i) {
+            co_await cpe.send_row(1, v4d(static_cast<double>(i)));
+          }
+        } else if (cpe.id() == 1) {
+          for (int i = 0; i < 10; ++i) {
+            v4d m = co_await cpe.recv_row();
+            got.push_back(m[0]);
+          }
+        }
+        co_return;
+      },
+      /*ncpes=*/2);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, SendBlocksOnFullFifoAndRecovers) {
+  // The sender pushes more messages than the FIFO depth before the
+  // receiver drains any; the run must still complete with all payloads.
+  CoreGroup cg;
+  constexpr int kMsgs = 3 * sw::kRegCommFifoDepth;
+  int received = 0;
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        if (cpe.id() == 0) {
+          for (int i = 0; i < kMsgs; ++i) {
+            co_await cpe.send_row(1, v4d(1.0));
+          }
+        } else if (cpe.id() == 1) {
+          // Delay draining: yield a few times first.
+          for (int i = 0; i < 5; ++i) co_await cpe.yield();
+          for (int i = 0; i < kMsgs; ++i) {
+            (void)co_await cpe.recv_row();
+            ++received;
+          }
+        }
+        co_return;
+      },
+      /*ncpes=*/2);
+  EXPECT_EQ(received, kMsgs);
+}
+
+TEST(Scheduler, ColumnChannelsAreIndependentOfRowChannels) {
+  CoreGroup cg;
+  double row_val = 0, col_val = 0;
+  cg.run([&](Cpe& cpe) -> Task {
+    // CPE (0,1) sends on the row to (0,0); CPE (1,0) sends on the column
+    // to (0,0). (0,0) must read them from separate FIFOs.
+    if (cpe.row() == 0 && cpe.col() == 1) {
+      co_await cpe.send_row(0, v4d(111.0));
+    } else if (cpe.row() == 1 && cpe.col() == 0) {
+      co_await cpe.send_col(0, v4d(222.0));
+    } else if (cpe.id() == 0) {
+      v4d r = co_await cpe.recv_row();
+      v4d c = co_await cpe.recv_col();
+      row_val = r[0];
+      col_val = c[0];
+    }
+    co_return;
+  });
+  EXPECT_EQ(row_val, 111.0);
+  EXPECT_EQ(col_val, 222.0);
+}
+
+TEST(Scheduler, RecvLatencyAdvancesClockPastSender) {
+  CoreGroup cg;
+  double recv_clock = 0;
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        if (cpe.id() == 0) {
+          cpe.cycles(1000.0);  // sender is busy first
+          co_await cpe.send_row(1, v4d(1.0));
+        } else if (cpe.id() == 1) {
+          (void)co_await cpe.recv_row();
+          recv_clock = cpe.clock();
+        }
+        co_return;
+      },
+      /*ncpes=*/2);
+  EXPECT_GE(recv_clock, 1000.0 + sw::kRegCommLatencyCycles);
+}
+
+TEST(Scheduler, BarrierSynchronizesClocks) {
+  CoreGroup cg;
+  std::vector<double> after(sw::kCpesPerGroup, 0.0);
+  cg.run([&](Cpe& cpe) -> Task {
+    cpe.cycles(static_cast<double>(cpe.id()) * 10.0);
+    co_await cpe.barrier();
+    after[static_cast<std::size_t>(cpe.id())] = cpe.clock();
+    co_return;
+  });
+  const double expected = (sw::kCpesPerGroup - 1) * 10.0 + sw::kBarrierCycles;
+  for (double c : after) EXPECT_DOUBLE_EQ(c, expected);
+}
+
+TEST(Scheduler, DetectsDeadlock) {
+  CoreGroup cg;
+  EXPECT_THROW(cg.run(
+                   [&](Cpe& cpe) -> Task {
+                     if (cpe.id() == 0) {
+                       (void)co_await cpe.recv_row();  // nobody sends
+                     }
+                     co_return;
+                   },
+                   /*ncpes=*/2),
+               sw::SchedulerDeadlock);
+}
+
+TEST(Scheduler, PropagatesKernelExceptions) {
+  CoreGroup cg;
+  EXPECT_THROW(cg.run(
+                   [&](Cpe& cpe) -> Task {
+                     if (cpe.id() == 3) {
+                       throw std::runtime_error("kernel bug");
+                     }
+                     co_return;
+                   },
+                   /*ncpes=*/8),
+               std::runtime_error);
+}
+
+TEST(Scheduler, LdmOverflowInsideKernelSurfaces) {
+  CoreGroup cg;
+  EXPECT_THROW(cg.run(
+                   [&](Cpe& cpe) -> Task {
+                     (void)cpe.ldm().alloc<double>(sw::kLdmBytes);
+                     co_return;
+                   },
+                   /*ncpes=*/1),
+               sw::LdmOverflow);
+}
+
+TEST(Scheduler, RejectsUnconsumedMessages) {
+  CoreGroup cg;
+  EXPECT_THROW(cg.run(
+                   [&](Cpe& cpe) -> Task {
+                     if (cpe.id() == 0) {
+                       co_await cpe.send_row(1, v4d(1.0));
+                     }
+                     co_return;
+                   },
+                   /*ncpes=*/2),
+               std::logic_error);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  CoreGroup cg;
+  auto kernel = [&](Cpe& cpe) -> Task {
+    auto buf = cpe.ldm().alloc<double>(16);
+    for (auto& x : buf) x = cpe.id();
+    cpe.vector_flops(123);
+    if (cpe.col() > 0) co_await cpe.send_row(0, v4d(1.0));
+    if (cpe.col() == 0) {
+      for (int i = 1; i < sw::kCpeCols; ++i) (void)co_await cpe.recv_row();
+    }
+    co_await cpe.barrier();
+    co_return;
+  };
+  auto s1 = cg.run(kernel);
+  auto s2 = cg.run(kernel);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.totals.reg_sends, s2.totals.reg_sends);
+}
+
+TEST(Scheduler, SpawnOverheadAddsToModeledTime) {
+  CoreGroup cg;
+  auto base = cg.run([&](Cpe&) -> Task { co_return; });
+  auto with = cg.run([&](Cpe&) -> Task { co_return; }, sw::kCpesPerGroup,
+                     sw::kSpawnCycles);
+  EXPECT_DOUBLE_EQ(with.cycles - base.cycles, sw::kSpawnCycles);
+}
+
+TEST(Scheduler, SubTaskChainsResumeThroughChannels) {
+  // A helper sub-coroutine that blocks on register communication must
+  // resume its caller correctly (symmetric transfer through CoTask).
+  CoreGroup cg;
+  double result = 0;
+  auto helper = [](Cpe& cpe) -> sw::CoTask<double> {
+    v4d m = co_await cpe.recv_row();
+    co_return m[0] * 2.0;
+  };
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        if (cpe.id() == 0) {
+          co_await cpe.send_row(1, v4d(21.0));
+        } else if (cpe.id() == 1) {
+          result = co_await helper(cpe);
+        }
+        co_return;
+      },
+      /*ncpes=*/2);
+  EXPECT_EQ(result, 42.0);
+}
+
+}  // namespace

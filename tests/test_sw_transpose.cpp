@@ -1,0 +1,149 @@
+#include "sw/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sw/core_group.hpp"
+
+namespace {
+
+using sw::CoreGroup;
+using sw::Cpe;
+using sw::Task;
+
+TEST(LdmTranspose, RectangularMatchesReference) {
+  CoreGroup cg;
+  constexpr int kRows = 8, kCols = 12;
+  std::vector<double> in(kRows * kCols), out(kRows * kCols, -1.0);
+  for (int i = 0; i < kRows * kCols; ++i) in[static_cast<std::size_t>(i)] = i;
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        auto a = cpe.ldm().alloc<double>(kRows * kCols);
+        auto b = cpe.ldm().alloc<double>(kRows * kCols);
+        cpe.get(a, in.data());
+        sw::ldm_transpose(cpe, a.data(), b.data(), kRows, kCols);
+        cpe.put(out.data(), std::span<const double>(b));
+        co_return;
+      },
+      /*ncpes=*/1);
+  for (int i = 0; i < kRows; ++i) {
+    for (int j = 0; j < kCols; ++j) {
+      EXPECT_EQ(out[static_cast<std::size_t>(j * kRows + i)],
+                in[static_cast<std::size_t>(i * kCols + j)]);
+    }
+  }
+}
+
+TEST(LdmTranspose, InPlaceSquare) {
+  CoreGroup cg;
+  constexpr int kN = 16;
+  std::vector<double> m(kN * kN);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-5, 5);
+  for (auto& x : m) x = dist(rng);
+  std::vector<double> orig = m;
+  cg.run(
+      [&](Cpe& cpe) -> Task {
+        auto a = cpe.ldm().alloc<double>(kN * kN);
+        cpe.get(a, m.data());
+        sw::ldm_transpose_inplace(cpe, a.data(), kN);
+        cpe.put(m.data(), std::span<const double>(a));
+        co_return;
+      },
+      /*ncpes=*/1);
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      EXPECT_EQ(m[static_cast<std::size_t>(i * kN + j)],
+                orig[static_cast<std::size_t>(j * kN + i)]);
+    }
+  }
+}
+
+class CpeBlockTranspose : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpeBlockTranspose, GlobalMatrixIsTransposed) {
+  // Distribute a (4n x 4n) matrix over the first n CPE columns of every
+  // row (each CPE row works on its own independent matrix) and check the
+  // collective transpose of Figure 3.
+  const int n = GetParam();
+  const int dim = 4 * n;
+  CoreGroup cg;
+  // One matrix per CPE row.
+  std::vector<std::vector<double>> mats(sw::kCpeRows);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  for (auto& m : mats) {
+    m.resize(static_cast<std::size_t>(dim * dim));
+    for (auto& x : m) x = dist(rng);
+  }
+  auto orig = mats;
+
+  cg.run([&](Cpe& cpe) -> Task {
+    std::span<double> blocks;
+    if (cpe.col() < n) {
+      blocks = cpe.ldm().alloc<double>(static_cast<std::size_t>(n) * 16);
+      auto& m = mats[static_cast<std::size_t>(cpe.row())];
+      // CPE (r, i) holds block-row i: tiles C[i][j], j = 0..n-1.
+      for (int j = 0; j < n; ++j) {
+        for (int rr = 0; rr < 4; ++rr) {
+          for (int cc = 0; cc < 4; ++cc) {
+            blocks[static_cast<std::size_t>(j * 16 + rr * 4 + cc)] =
+                m[static_cast<std::size_t>((4 * cpe.col() + rr) * dim +
+                                           4 * j + cc)];
+          }
+        }
+      }
+    }
+    co_await sw::cpe_block_transpose(cpe, blocks, n);
+    if (cpe.col() < n) {
+      auto& m = mats[static_cast<std::size_t>(cpe.row())];
+      for (int j = 0; j < n; ++j) {
+        for (int rr = 0; rr < 4; ++rr) {
+          for (int cc = 0; cc < 4; ++cc) {
+            m[static_cast<std::size_t>((4 * cpe.col() + rr) * dim + 4 * j +
+                                       cc)] =
+                blocks[static_cast<std::size_t>(j * 16 + rr * 4 + cc)];
+          }
+        }
+      }
+    }
+    co_return;
+  });
+
+  for (int r = 0; r < sw::kCpeRows; ++r) {
+    const auto& got = mats[static_cast<std::size_t>(r)];
+    const auto& want = orig[static_cast<std::size_t>(r)];
+    for (int i = 0; i < dim; ++i) {
+      for (int j = 0; j < dim; ++j) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i * dim + j)],
+                  want[static_cast<std::size_t>(j * dim + i)])
+            << "row-matrix " << r << " entry (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoWidths, CpeBlockTranspose,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(CpeBlockTransposeStats, UsesNMinus1PhasesOfRegisterTraffic) {
+  CoreGroup cg;
+  constexpr int n = 8;
+  auto stats = cg.run([&](Cpe& cpe) -> Task {
+    std::span<double> blocks;
+    if (cpe.col() < n) {
+      blocks = cpe.ldm().alloc<double>(n * 16);
+      for (auto& x : blocks) x = cpe.id();
+    }
+    co_await sw::cpe_block_transpose(cpe, blocks, n);
+    co_return;
+  });
+  // Each of the 64 CPEs sends one 16-double tile (4 messages) per phase,
+  // for n-1 = 7 phases.
+  EXPECT_EQ(stats.totals.reg_sends, 64u * 7u * 4u);
+  EXPECT_EQ(stats.totals.reg_recvs, 64u * 7u * 4u);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "sw/vreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using sw::shuffle;
+using sw::shuffle_mask;
+using sw::v4d;
+
+TEST(Vreg, BroadcastAndLanes) {
+  v4d v(3.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], 3.5);
+}
+
+TEST(Vreg, Arithmetic) {
+  v4d a(1, 2, 3, 4), b(10, 20, 30, 40);
+  v4d s = a + b;
+  v4d d = b - a;
+  v4d p = a * b;
+  v4d q = b / a;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(s[i], a[i] + b[i]);
+    EXPECT_EQ(d[i], b[i] - a[i]);
+    EXPECT_EQ(p[i], a[i] * b[i]);
+    EXPECT_EQ(q[i], b[i] / a[i]);
+  }
+}
+
+TEST(Vreg, FmaMatchesScalar) {
+  v4d a(1, 2, 3, 4), b(5, 6, 7, 8), c(9, 10, 11, 12);
+  v4d r = sw::vfma(a, b, c);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r[i], a[i] * b[i] + c[i]);
+}
+
+TEST(Vreg, HsumAddsAllLanes) {
+  EXPECT_EQ(v4d(1, 2, 3, 4).hsum(), 10.0);
+}
+
+TEST(Vreg, LoadStoreRoundTrip) {
+  double src[4] = {1.5, -2.5, 3.25, 0.0};
+  double dst[4] = {};
+  v4d::load(src).store(dst);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Vreg, ShuffleSelectsPaperExample) {
+  // Figure 3: first two lanes from a (positions 0 and 2), last two from b
+  // (positions 0 and 1) -> (a0, a2, b0, b1).
+  v4d a(10, 11, 12, 13), b(20, 21, 22, 23);
+  v4d r = shuffle(a, b, shuffle_mask(0, 2, 0, 1));
+  EXPECT_EQ(r[0], 10.0);
+  EXPECT_EQ(r[1], 12.0);
+  EXPECT_EQ(r[2], 20.0);
+  EXPECT_EQ(r[3], 21.0);
+}
+
+TEST(Vreg, ShuffleMaskCoversAllSelections) {
+  v4d a(0, 1, 2, 3), b(4, 5, 6, 7);
+  for (int a0 = 0; a0 < 4; ++a0) {
+    for (int b1 = 0; b1 < 4; ++b1) {
+      v4d r = shuffle(a, b, shuffle_mask(a0, 3, 2, b1));
+      EXPECT_EQ(r[0], a[a0]);
+      EXPECT_EQ(r[1], a[3]);
+      EXPECT_EQ(r[2], b[2]);
+      EXPECT_EQ(r[3], b[b1]);
+    }
+  }
+}
+
+TEST(Vreg, Transpose4x4UsesExactlyEightShufflesWorth) {
+  // Correctness: transpose of a known matrix.
+  v4d r0(0, 1, 2, 3), r1(4, 5, 6, 7), r2(8, 9, 10, 11), r3(12, 13, 14, 15);
+  sw::transpose4x4(r0, r1, r2, r3);
+  const v4d rows[4] = {r0, r1, r2, r3};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(rows[i][j], static_cast<double>(j * 4 + i));
+    }
+  }
+}
+
+TEST(Vreg, TransposeIsInvolution) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    v4d m[4];
+    for (auto& r : m) {
+      for (int i = 0; i < 4; ++i) r[i] = dist(rng);
+    }
+    v4d t[4] = {m[0], m[1], m[2], m[3]};
+    sw::transpose4x4(t[0], t[1], t[2], t[3]);
+    sw::transpose4x4(t[0], t[1], t[2], t[3]);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) EXPECT_EQ(t[i][j], m[i][j]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tc/katrina.hpp"
+#include "tc/tracker.hpp"
+#include "tc/vortex.hpp"
+#include "validation/climatology.hpp"
+
+namespace {
+
+TEST(GreatCircle, KnownDistances) {
+  const double r = mesh::kEarthRadius;
+  EXPECT_NEAR(tc::great_circle(0, 0, 0, M_PI, r), M_PI * r, 1.0);
+  EXPECT_NEAR(tc::great_circle(0, 0, M_PI / 2, 0, r), M_PI * r / 2, 1.0);
+  EXPECT_NEAR(tc::great_circle(0.3, 1.0, 0.3, 1.0, r), 0.0, 1e-6);
+}
+
+TEST(Vortex, InitialStateHasExpectedStructure) {
+  auto m = mesh::CubedSphere::build(6, mesh::kEarthRadius);
+  homme::Dims d;
+  d.nlev = 6;
+  d.qsize = 1;
+  tc::TcParams p;
+  auto s = tc::tc_initial_state(m, d, p);
+  const auto fix = tc::track(m, d, s);
+  // Center near the prescribed position.
+  EXPECT_LT(tc::great_circle(fix.lat, fix.lon, p.lat0, p.lon0,
+                             mesh::kEarthRadius),
+            5.0e5);
+  // A real pressure deficit and winds of the prescribed order.
+  EXPECT_LT(fix.min_ps, homme::kP0 - 0.5 * p.dp_center);
+  EXPECT_GT(fix.msw, 0.5 * p.vmax);
+  EXPECT_LT(fix.msw, 2.5 * p.vmax);
+}
+
+TEST(Vortex, ReferenceTrackMovesWestAndPoleward) {
+  tc::TcParams p;
+  double lat, lon;
+  tc::reference_center(p, 24 * 3600.0, mesh::kEarthRadius, lat, lon);
+  EXPECT_LT(lon, p.lon0);  // easterly steering moves the storm west
+  EXPECT_GT(lat, p.lat0);  // poleward drift
+}
+
+TEST(Tracker, FindsAnalyticMinimum) {
+  auto m = mesh::CubedSphere::build(6, mesh::kEarthRadius);
+  homme::Dims d;
+  d.nlev = 4;
+  d.qsize = 0;
+  tc::TcParams p;
+  p.lat0 = 0.2;
+  p.lon0 = 0.9;
+  auto s = tc::tc_initial_state(m, d, p);
+  const auto fix = tc::track(m, d, s);
+  EXPECT_NEAR(fix.lat, p.lat0, 0.08);
+  EXPECT_NEAR(fix.lon, p.lon0, 0.08);
+}
+
+TEST(Katrina, FineResolutionTracksCoarseLosesTheStorm) {
+  // The Figure 9 contrast, downsized: same vortex, same physics, 4x
+  // resolution ratio. The fine run must beat the coarse run decisively
+  // on both track and intensity.
+  tc::KatrinaConfig cfg;
+  cfg.ne_coarse = 3;
+  cfg.ne_fine = 8;
+  cfg.nlev = 8;
+  cfg.hours = 6.0;
+  cfg.n_outputs = 4;
+  auto result = tc::run_katrina(cfg);
+  EXPECT_LT(result.fine.mean_track_error_km,
+            0.5 * result.coarse.mean_track_error_km);
+  EXPECT_GT(result.fine.intensity_retention,
+            result.coarse.intensity_retention);
+  // The fine run maintains a real cyclone (deep center, strong wind).
+  EXPECT_LT(result.fine.deepest_ps, homme::kP0 - 1500.0);
+  EXPECT_GT(result.fine.track.fixes.back().msw, 10.0);
+}
+
+TEST(Climatology, ControlAndTestRunsAreStatisticallyIdentical) {
+  // Figure 4: the Sunway (test) climatology must be indistinguishable
+  // from the Intel (control) one. Perturbation = measured cross-platform
+  // reassociation drift.
+  validation::ClimatologyConfig cfg;
+  cfg.ne = 3;
+  cfg.nlev = 6;
+  cfg.steps = 40;
+  cfg.spinup = 10;
+  auto stats = validation::climatology_compare(cfg);
+  EXPECT_NEAR(stats.mean_test, stats.mean_control,
+              0.02 * std::abs(stats.mean_control));
+  EXPECT_GT(stats.pattern_correlation, 0.98);
+  EXPECT_LT(stats.rmse, 1.0);  // K
+  // And the fields themselves are plausible surface temperatures.
+  EXPECT_GT(stats.mean_control, 200.0);
+  EXPECT_LT(stats.mean_control, 340.0);
+}
+
+TEST(Climatology, LargePerturbationWouldBeDetected) {
+  // Sanity of the metric: a grossly wrong port (1% errors) must NOT pass
+  // the Figure 4 comparison.
+  validation::ClimatologyConfig cfg;
+  cfg.ne = 2;
+  cfg.nlev = 4;
+  cfg.steps = 25;
+  cfg.spinup = 5;
+  cfg.perturbation = 1e-2;
+  auto stats = validation::climatology_compare(cfg);
+  validation::ClimatologyConfig tiny = cfg;
+  tiny.perturbation = 1e-9;
+  auto ref = validation::climatology_compare(tiny);
+  EXPECT_GT(stats.rmse, 5.0 * ref.rmse);
+}
+
+}  // namespace
