@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ldm.dir/bench_ablation_ldm.cpp.o"
+  "CMakeFiles/bench_ablation_ldm.dir/bench_ablation_ldm.cpp.o.d"
+  "bench_ablation_ldm"
+  "bench_ablation_ldm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ldm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

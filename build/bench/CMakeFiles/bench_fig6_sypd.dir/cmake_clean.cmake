@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sypd.dir/bench_fig6_sypd.cpp.o"
+  "CMakeFiles/bench_fig6_sypd.dir/bench_fig6_sypd.cpp.o.d"
+  "bench_fig6_sypd"
+  "bench_fig6_sypd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sypd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

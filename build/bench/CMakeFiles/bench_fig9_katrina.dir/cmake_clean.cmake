@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_katrina.dir/bench_fig9_katrina.cpp.o"
+  "CMakeFiles/bench_fig9_katrina.dir/bench_fig9_katrina.cpp.o.d"
+  "bench_fig9_katrina"
+  "bench_fig9_katrina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_katrina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mesh.dir/bench_table2_mesh.cpp.o"
+  "CMakeFiles/bench_table2_mesh.dir/bench_table2_mesh.cpp.o.d"
+  "bench_table2_mesh"
+  "bench_table2_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

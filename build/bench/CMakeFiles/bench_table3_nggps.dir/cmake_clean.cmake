@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nggps.dir/bench_table3_nggps.cpp.o"
+  "CMakeFiles/bench_table3_nggps.dir/bench_table3_nggps.cpp.o.d"
+  "bench_table3_nggps"
+  "bench_table3_nggps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nggps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

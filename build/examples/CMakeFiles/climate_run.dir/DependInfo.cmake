@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/climate_run.cpp" "examples/CMakeFiles/climate_run.dir/climate_run.cpp.o" "gcc" "examples/CMakeFiles/climate_run.dir/climate_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/homme/CMakeFiles/swcam_homme.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/swcam_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swcam_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/swcam_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swcam_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_run.dir/climate_run.cpp.o"
+  "CMakeFiles/climate_run.dir/climate_run.cpp.o.d"
+  "climate_run"
+  "climate_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

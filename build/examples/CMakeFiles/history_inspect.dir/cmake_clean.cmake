@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_inspect.dir/history_inspect.cpp.o"
+  "CMakeFiles/history_inspect.dir/history_inspect.cpp.o.d"
+  "history_inspect"
+  "history_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/katrina.dir/katrina.cpp.o"
+  "CMakeFiles/katrina.dir/katrina.cpp.o.d"
+  "katrina"
+  "katrina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/katrina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

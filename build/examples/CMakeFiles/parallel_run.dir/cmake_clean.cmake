@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_run.dir/parallel_run.cpp.o"
+  "CMakeFiles/parallel_run.dir/parallel_run.cpp.o.d"
+  "parallel_run"
+  "parallel_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

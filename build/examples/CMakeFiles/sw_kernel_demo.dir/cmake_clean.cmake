@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_kernel_demo.dir/sw_kernel_demo.cpp.o"
+  "CMakeFiles/sw_kernel_demo.dir/sw_kernel_demo.cpp.o.d"
+  "sw_kernel_demo"
+  "sw_kernel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_kernel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

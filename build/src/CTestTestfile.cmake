@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sw")
+subdirs("net")
+subdirs("io")
+subdirs("mesh")
+subdirs("homme")
+subdirs("physics")
+subdirs("accel")
+subdirs("perf")
+subdirs("baselines")
+subdirs("tc")
+subdirs("validation")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/euler_acc.cpp" "src/accel/CMakeFiles/swcam_accel.dir/euler_acc.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/euler_acc.cpp.o.d"
+  "/root/repo/src/accel/hypervis_acc.cpp" "src/accel/CMakeFiles/swcam_accel.dir/hypervis_acc.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/hypervis_acc.cpp.o.d"
+  "/root/repo/src/accel/packed.cpp" "src/accel/CMakeFiles/swcam_accel.dir/packed.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/packed.cpp.o.d"
+  "/root/repo/src/accel/physics_acc.cpp" "src/accel/CMakeFiles/swcam_accel.dir/physics_acc.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/physics_acc.cpp.o.d"
+  "/root/repo/src/accel/remap_acc.cpp" "src/accel/CMakeFiles/swcam_accel.dir/remap_acc.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/remap_acc.cpp.o.d"
+  "/root/repo/src/accel/rhs_acc.cpp" "src/accel/CMakeFiles/swcam_accel.dir/rhs_acc.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/rhs_acc.cpp.o.d"
+  "/root/repo/src/accel/table1.cpp" "src/accel/CMakeFiles/swcam_accel.dir/table1.cpp.o" "gcc" "src/accel/CMakeFiles/swcam_accel.dir/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/swcam_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/homme/CMakeFiles/swcam_homme.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/swcam_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/swcam_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swcam_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

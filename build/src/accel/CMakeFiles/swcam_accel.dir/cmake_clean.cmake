@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_accel.dir/euler_acc.cpp.o"
+  "CMakeFiles/swcam_accel.dir/euler_acc.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/hypervis_acc.cpp.o"
+  "CMakeFiles/swcam_accel.dir/hypervis_acc.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/packed.cpp.o"
+  "CMakeFiles/swcam_accel.dir/packed.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/physics_acc.cpp.o"
+  "CMakeFiles/swcam_accel.dir/physics_acc.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/remap_acc.cpp.o"
+  "CMakeFiles/swcam_accel.dir/remap_acc.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/rhs_acc.cpp.o"
+  "CMakeFiles/swcam_accel.dir/rhs_acc.cpp.o.d"
+  "CMakeFiles/swcam_accel.dir/table1.cpp.o"
+  "CMakeFiles/swcam_accel.dir/table1.cpp.o.d"
+  "libswcam_accel.a"
+  "libswcam_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_baselines.dir/fv_core.cpp.o"
+  "CMakeFiles/swcam_baselines.dir/fv_core.cpp.o.d"
+  "CMakeFiles/swcam_baselines.dir/mpas_core.cpp.o"
+  "CMakeFiles/swcam_baselines.dir/mpas_core.cpp.o.d"
+  "CMakeFiles/swcam_baselines.dir/nggps.cpp.o"
+  "CMakeFiles/swcam_baselines.dir/nggps.cpp.o.d"
+  "libswcam_baselines.a"
+  "libswcam_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswcam_baselines.a"
+)

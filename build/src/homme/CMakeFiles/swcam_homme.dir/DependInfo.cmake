@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/homme/bndry.cpp" "src/homme/CMakeFiles/swcam_homme.dir/bndry.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/bndry.cpp.o.d"
+  "/root/repo/src/homme/driver.cpp" "src/homme/CMakeFiles/swcam_homme.dir/driver.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/driver.cpp.o.d"
+  "/root/repo/src/homme/dss.cpp" "src/homme/CMakeFiles/swcam_homme.dir/dss.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/dss.cpp.o.d"
+  "/root/repo/src/homme/euler.cpp" "src/homme/CMakeFiles/swcam_homme.dir/euler.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/euler.cpp.o.d"
+  "/root/repo/src/homme/hypervis.cpp" "src/homme/CMakeFiles/swcam_homme.dir/hypervis.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/hypervis.cpp.o.d"
+  "/root/repo/src/homme/init.cpp" "src/homme/CMakeFiles/swcam_homme.dir/init.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/init.cpp.o.d"
+  "/root/repo/src/homme/ops.cpp" "src/homme/CMakeFiles/swcam_homme.dir/ops.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/ops.cpp.o.d"
+  "/root/repo/src/homme/parallel_driver.cpp" "src/homme/CMakeFiles/swcam_homme.dir/parallel_driver.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/parallel_driver.cpp.o.d"
+  "/root/repo/src/homme/remap.cpp" "src/homme/CMakeFiles/swcam_homme.dir/remap.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/remap.cpp.o.d"
+  "/root/repo/src/homme/rhs.cpp" "src/homme/CMakeFiles/swcam_homme.dir/rhs.cpp.o" "gcc" "src/homme/CMakeFiles/swcam_homme.dir/rhs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/swcam_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swcam_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

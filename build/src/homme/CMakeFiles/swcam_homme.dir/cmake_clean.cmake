@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_homme.dir/bndry.cpp.o"
+  "CMakeFiles/swcam_homme.dir/bndry.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/driver.cpp.o"
+  "CMakeFiles/swcam_homme.dir/driver.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/dss.cpp.o"
+  "CMakeFiles/swcam_homme.dir/dss.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/euler.cpp.o"
+  "CMakeFiles/swcam_homme.dir/euler.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/hypervis.cpp.o"
+  "CMakeFiles/swcam_homme.dir/hypervis.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/init.cpp.o"
+  "CMakeFiles/swcam_homme.dir/init.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/ops.cpp.o"
+  "CMakeFiles/swcam_homme.dir/ops.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/parallel_driver.cpp.o"
+  "CMakeFiles/swcam_homme.dir/parallel_driver.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/remap.cpp.o"
+  "CMakeFiles/swcam_homme.dir/remap.cpp.o.d"
+  "CMakeFiles/swcam_homme.dir/rhs.cpp.o"
+  "CMakeFiles/swcam_homme.dir/rhs.cpp.o.d"
+  "libswcam_homme.a"
+  "libswcam_homme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_homme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

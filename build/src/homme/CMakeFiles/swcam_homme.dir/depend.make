@@ -1,0 +1,2 @@
+# Empty dependencies file for swcam_homme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_io.dir/model_io.cpp.o"
+  "CMakeFiles/swcam_io.dir/model_io.cpp.o.d"
+  "libswcam_io.a"
+  "libswcam_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

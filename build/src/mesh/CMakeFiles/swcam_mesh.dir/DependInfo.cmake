@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/cubed_sphere.cpp" "src/mesh/CMakeFiles/swcam_mesh.dir/cubed_sphere.cpp.o" "gcc" "src/mesh/CMakeFiles/swcam_mesh.dir/cubed_sphere.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/mesh/CMakeFiles/swcam_mesh.dir/geometry.cpp.o" "gcc" "src/mesh/CMakeFiles/swcam_mesh.dir/geometry.cpp.o.d"
+  "/root/repo/src/mesh/gll.cpp" "src/mesh/CMakeFiles/swcam_mesh.dir/gll.cpp.o" "gcc" "src/mesh/CMakeFiles/swcam_mesh.dir/gll.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/mesh/CMakeFiles/swcam_mesh.dir/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/swcam_mesh.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_mesh.dir/cubed_sphere.cpp.o"
+  "CMakeFiles/swcam_mesh.dir/cubed_sphere.cpp.o.d"
+  "CMakeFiles/swcam_mesh.dir/geometry.cpp.o"
+  "CMakeFiles/swcam_mesh.dir/geometry.cpp.o.d"
+  "CMakeFiles/swcam_mesh.dir/gll.cpp.o"
+  "CMakeFiles/swcam_mesh.dir/gll.cpp.o.d"
+  "CMakeFiles/swcam_mesh.dir/partition.cpp.o"
+  "CMakeFiles/swcam_mesh.dir/partition.cpp.o.d"
+  "libswcam_mesh.a"
+  "libswcam_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_net.dir/mini_mpi.cpp.o"
+  "CMakeFiles/swcam_net.dir/mini_mpi.cpp.o.d"
+  "CMakeFiles/swcam_net.dir/network_model.cpp.o"
+  "CMakeFiles/swcam_net.dir/network_model.cpp.o.d"
+  "libswcam_net.a"
+  "libswcam_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_perf.dir/machine_model.cpp.o"
+  "CMakeFiles/swcam_perf.dir/machine_model.cpp.o.d"
+  "libswcam_perf.a"
+  "libswcam_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

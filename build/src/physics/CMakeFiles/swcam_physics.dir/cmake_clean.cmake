@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_physics.dir/driver.cpp.o"
+  "CMakeFiles/swcam_physics.dir/driver.cpp.o.d"
+  "CMakeFiles/swcam_physics.dir/held_suarez.cpp.o"
+  "CMakeFiles/swcam_physics.dir/held_suarez.cpp.o.d"
+  "CMakeFiles/swcam_physics.dir/modules.cpp.o"
+  "CMakeFiles/swcam_physics.dir/modules.cpp.o.d"
+  "libswcam_physics.a"
+  "libswcam_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

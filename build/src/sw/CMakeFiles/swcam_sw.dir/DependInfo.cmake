@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/core_group.cpp" "src/sw/CMakeFiles/swcam_sw.dir/core_group.cpp.o" "gcc" "src/sw/CMakeFiles/swcam_sw.dir/core_group.cpp.o.d"
+  "/root/repo/src/sw/scan.cpp" "src/sw/CMakeFiles/swcam_sw.dir/scan.cpp.o" "gcc" "src/sw/CMakeFiles/swcam_sw.dir/scan.cpp.o.d"
+  "/root/repo/src/sw/transpose.cpp" "src/sw/CMakeFiles/swcam_sw.dir/transpose.cpp.o" "gcc" "src/sw/CMakeFiles/swcam_sw.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

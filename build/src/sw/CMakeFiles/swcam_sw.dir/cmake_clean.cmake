@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_sw.dir/core_group.cpp.o"
+  "CMakeFiles/swcam_sw.dir/core_group.cpp.o.d"
+  "CMakeFiles/swcam_sw.dir/scan.cpp.o"
+  "CMakeFiles/swcam_sw.dir/scan.cpp.o.d"
+  "CMakeFiles/swcam_sw.dir/transpose.cpp.o"
+  "CMakeFiles/swcam_sw.dir/transpose.cpp.o.d"
+  "libswcam_sw.a"
+  "libswcam_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

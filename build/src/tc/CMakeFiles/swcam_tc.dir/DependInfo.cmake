@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/katrina.cpp" "src/tc/CMakeFiles/swcam_tc.dir/katrina.cpp.o" "gcc" "src/tc/CMakeFiles/swcam_tc.dir/katrina.cpp.o.d"
+  "/root/repo/src/tc/tracker.cpp" "src/tc/CMakeFiles/swcam_tc.dir/tracker.cpp.o" "gcc" "src/tc/CMakeFiles/swcam_tc.dir/tracker.cpp.o.d"
+  "/root/repo/src/tc/vortex.cpp" "src/tc/CMakeFiles/swcam_tc.dir/vortex.cpp.o" "gcc" "src/tc/CMakeFiles/swcam_tc.dir/vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/homme/CMakeFiles/swcam_homme.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/swcam_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/swcam_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swcam_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_tc.dir/katrina.cpp.o"
+  "CMakeFiles/swcam_tc.dir/katrina.cpp.o.d"
+  "CMakeFiles/swcam_tc.dir/tracker.cpp.o"
+  "CMakeFiles/swcam_tc.dir/tracker.cpp.o.d"
+  "CMakeFiles/swcam_tc.dir/vortex.cpp.o"
+  "CMakeFiles/swcam_tc.dir/vortex.cpp.o.d"
+  "libswcam_tc.a"
+  "libswcam_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

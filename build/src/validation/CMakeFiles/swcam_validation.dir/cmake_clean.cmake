@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcam_validation.dir/climatology.cpp.o"
+  "CMakeFiles/swcam_validation.dir/climatology.cpp.o.d"
+  "libswcam_validation.a"
+  "libswcam_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcam_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_kernels.dir/test_accel_kernels.cpp.o"
+  "CMakeFiles/test_accel_kernels.dir/test_accel_kernels.cpp.o.d"
+  "test_accel_kernels"
+  "test_accel_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_sweep.dir/test_accel_sweep.cpp.o"
+  "CMakeFiles/test_accel_sweep.dir/test_accel_sweep.cpp.o.d"
+  "test_accel_sweep"
+  "test_accel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

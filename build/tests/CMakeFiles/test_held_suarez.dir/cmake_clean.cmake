@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_held_suarez.dir/test_held_suarez.cpp.o"
+  "CMakeFiles/test_held_suarez.dir/test_held_suarez.cpp.o.d"
+  "test_held_suarez"
+  "test_held_suarez.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_held_suarez.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

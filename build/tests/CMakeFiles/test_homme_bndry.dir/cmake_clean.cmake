@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_bndry.dir/test_homme_bndry.cpp.o"
+  "CMakeFiles/test_homme_bndry.dir/test_homme_bndry.cpp.o.d"
+  "test_homme_bndry"
+  "test_homme_bndry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_bndry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_convergence.dir/test_homme_convergence.cpp.o"
+  "CMakeFiles/test_homme_convergence.dir/test_homme_convergence.cpp.o.d"
+  "test_homme_convergence"
+  "test_homme_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

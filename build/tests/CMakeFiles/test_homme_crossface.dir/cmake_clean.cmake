@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_crossface.dir/test_homme_crossface.cpp.o"
+  "CMakeFiles/test_homme_crossface.dir/test_homme_crossface.cpp.o.d"
+  "test_homme_crossface"
+  "test_homme_crossface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_crossface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_homme_crossface.
+# This may be replaced when dependencies are built.

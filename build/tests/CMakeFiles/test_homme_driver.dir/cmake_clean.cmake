@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_driver.dir/test_homme_driver.cpp.o"
+  "CMakeFiles/test_homme_driver.dir/test_homme_driver.cpp.o.d"
+  "test_homme_driver"
+  "test_homme_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_euler_remap.dir/test_homme_euler_remap.cpp.o"
+  "CMakeFiles/test_homme_euler_remap.dir/test_homme_euler_remap.cpp.o.d"
+  "test_homme_euler_remap"
+  "test_homme_euler_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_euler_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

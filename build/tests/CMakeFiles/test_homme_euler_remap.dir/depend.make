@@ -1,0 +1,2 @@
+# Empty dependencies file for test_homme_euler_remap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_moist.dir/test_homme_moist.cpp.o"
+  "CMakeFiles/test_homme_moist.dir/test_homme_moist.cpp.o.d"
+  "test_homme_moist"
+  "test_homme_moist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_moist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

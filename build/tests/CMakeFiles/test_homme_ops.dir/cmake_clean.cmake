@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_ops.dir/test_homme_ops.cpp.o"
+  "CMakeFiles/test_homme_ops.dir/test_homme_ops.cpp.o.d"
+  "test_homme_ops"
+  "test_homme_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homme_parallel.dir/test_homme_parallel.cpp.o"
+  "CMakeFiles/test_homme_parallel.dir/test_homme_parallel.cpp.o.d"
+  "test_homme_parallel"
+  "test_homme_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homme_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

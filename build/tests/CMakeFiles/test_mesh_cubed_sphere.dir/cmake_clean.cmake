@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_cubed_sphere.dir/test_mesh_cubed_sphere.cpp.o"
+  "CMakeFiles/test_mesh_cubed_sphere.dir/test_mesh_cubed_sphere.cpp.o.d"
+  "test_mesh_cubed_sphere"
+  "test_mesh_cubed_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_cubed_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_gll.dir/test_mesh_gll.cpp.o"
+  "CMakeFiles/test_mesh_gll.dir/test_mesh_gll.cpp.o.d"
+  "test_mesh_gll"
+  "test_mesh_gll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_gll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

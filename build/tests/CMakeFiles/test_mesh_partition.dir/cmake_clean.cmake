@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_partition.dir/test_mesh_partition.cpp.o"
+  "CMakeFiles/test_mesh_partition.dir/test_mesh_partition.cpp.o.d"
+  "test_mesh_partition"
+  "test_mesh_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

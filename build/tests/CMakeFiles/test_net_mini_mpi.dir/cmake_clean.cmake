@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_mini_mpi.dir/test_net_mini_mpi.cpp.o"
+  "CMakeFiles/test_net_mini_mpi.dir/test_net_mini_mpi.cpp.o.d"
+  "test_net_mini_mpi"
+  "test_net_mini_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_mini_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

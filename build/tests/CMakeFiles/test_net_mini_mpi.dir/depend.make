@@ -1,0 +1,2 @@
+# Empty dependencies file for test_net_mini_mpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_budget.dir/test_physics_budget.cpp.o"
+  "CMakeFiles/test_physics_budget.dir/test_physics_budget.cpp.o.d"
+  "test_physics_budget"
+  "test_physics_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

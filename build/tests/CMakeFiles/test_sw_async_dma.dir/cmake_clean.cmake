@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_async_dma.dir/test_sw_async_dma.cpp.o"
+  "CMakeFiles/test_sw_async_dma.dir/test_sw_async_dma.cpp.o.d"
+  "test_sw_async_dma"
+  "test_sw_async_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_async_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_ldm.dir/test_sw_ldm.cpp.o"
+  "CMakeFiles/test_sw_ldm.dir/test_sw_ldm.cpp.o.d"
+  "test_sw_ldm"
+  "test_sw_ldm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_ldm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

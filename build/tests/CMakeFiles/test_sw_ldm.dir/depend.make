@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sw_ldm.
+# This may be replaced when dependencies are built.

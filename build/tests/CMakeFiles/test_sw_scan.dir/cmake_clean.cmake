@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_scan.dir/test_sw_scan.cpp.o"
+  "CMakeFiles/test_sw_scan.dir/test_sw_scan.cpp.o.d"
+  "test_sw_scan"
+  "test_sw_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

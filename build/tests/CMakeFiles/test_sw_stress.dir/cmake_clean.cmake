@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_stress.dir/test_sw_stress.cpp.o"
+  "CMakeFiles/test_sw_stress.dir/test_sw_stress.cpp.o.d"
+  "test_sw_stress"
+  "test_sw_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

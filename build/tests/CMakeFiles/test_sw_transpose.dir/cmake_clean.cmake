@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_transpose.dir/test_sw_transpose.cpp.o"
+  "CMakeFiles/test_sw_transpose.dir/test_sw_transpose.cpp.o.d"
+  "test_sw_transpose"
+  "test_sw_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_vreg.dir/test_sw_vreg.cpp.o"
+  "CMakeFiles/test_sw_vreg.dir/test_sw_vreg.cpp.o.d"
+  "test_sw_vreg"
+  "test_sw_vreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_vreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc_validation.dir/test_tc_validation.cpp.o"
+  "CMakeFiles/test_tc_validation.dir/test_tc_validation.cpp.o.d"
+  "test_tc_validation"
+  "test_tc_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
