@@ -5,10 +5,14 @@
 // from the SW26010 simulator (functional execution + timing model); the
 // printed table compares our ratios against the paper's.
 
+// Pass --json <path> to also dump the per-kernel numbers (seconds per
+// platform, measured flops, DMA traffic split) as machine-readable JSON.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "accel/table1.hpp"
 
@@ -47,6 +51,58 @@ void print_table() {
       "Intel (paper 5.9x, see above); Athread fastest everywhere.\n\n");
 }
 
+bool write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_table1_kernels: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"config\": {\"nelem\": 64, \"nlev\": 128, "
+                  "\"qsize\": 25},\n  \"kernels\": [\n");
+  const auto& rs = rows();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"intel_s\": %.9e, \"mpe_s\": %.9e, "
+        "\"openacc_s\": %.9e, \"athread_s\": %.9e, \"flops\": %llu, "
+        "\"openacc_dma_bytes\": %llu, \"athread_dma_bytes\": %llu, "
+        "\"athread_dma_reused_bytes\": %llu, "
+        "\"athread_dma_cold_bytes\": %llu}%s\n",
+        r.name.c_str(), r.intel_s, r.mpe_s, r.acc_s, r.athread_s,
+        static_cast<unsigned long long>(r.flops),
+        static_cast<unsigned long long>(r.acc_dma_bytes),
+        static_cast<unsigned long long>(r.athread_dma_bytes),
+        static_cast<unsigned long long>(r.athread_dma_reused),
+        static_cast<unsigned long long>(r.athread_dma_cold),
+        i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Consume "--json <path>" (or "--json=<path>") from argv so the
+/// remaining flags can go to benchmark::Initialize untouched.
+std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
 void register_benchmarks() {
   for (const auto& r : rows()) {
     for (auto [plat, secs] :
@@ -67,7 +123,9 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = extract_json_path(argc, argv);
   print_table();
+  if (!json_path.empty() && !write_json(json_path)) return 1;
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

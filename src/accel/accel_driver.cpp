@@ -1,0 +1,31 @@
+#include "accel/accel_driver.hpp"
+
+#include <numeric>
+
+#include "accel/pipeline.hpp"
+#include "accel/remap_acc.hpp"
+
+namespace accel {
+
+PipelineAccelerator::PipelineAccelerator(const mesh::CubedSphere& m,
+                                         const homme::Dims& d,
+                                         std::vector<int> geom_map)
+    : mesh_(m), dims_(d), geom_map_(std::move(geom_map)) {}
+
+void PipelineAccelerator::vertical_remap(homme::State& s) {
+  std::vector<int> state_elems(s.size());
+  std::iota(state_elems.begin(), state_elems.end(), 0);
+  const std::vector<int>& geom_elems =
+      geom_map_.empty() ? state_elems : geom_map_;
+  PackedElems p =
+      PackedElems::from_state(mesh_, dims_, s, state_elems, geom_elems);
+
+  RemapKernel k(p);
+  KernelPipeline pipe({&k});
+  last_stats_ = pipe.run(cg_);
+  ++launches_;
+
+  p.to_state(s, state_elems);
+}
+
+}  // namespace accel

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "accel/packed.hpp"
+#include "homme/driver.hpp"
+#include "sw/core_group.hpp"
+
+/// \file accel_driver.hpp
+/// Glue between the homme dycore and the accel kernel pipeline: a
+/// homme::StepAccelerator that packs the state, runs the ported kernels
+/// on a simulated CoreGroup, and unpacks the prognostics. This is the
+/// boundary the paper's redesigned CAM-SE crosses on every dynamics
+/// step — host element structures on one side, flat DMA-able images on
+/// the other.
+
+namespace accel {
+
+/// Runs the vertical remap of a dynamics step through the athread
+/// kernel pipeline. Attach to a (Parallel)Dycore with
+/// attach_accelerator(&pa).
+///
+/// For the sequential Dycore the state indexes mesh elements directly —
+/// default-construct with the mesh and dims. For a ParallelDycore the
+/// local state is a permutation of a subset of mesh elements; pass the
+/// local->global map (ParallelDycore::global_elem) as \p geom_map.
+class PipelineAccelerator final : public homme::StepAccelerator {
+ public:
+  PipelineAccelerator(const mesh::CubedSphere& m, const homme::Dims& d,
+                      std::vector<int> geom_map = {});
+
+  void vertical_remap(homme::State& s) override;
+
+  /// Stats of the most recent offloaded launch (empty before the first).
+  const sw::KernelStats& last_stats() const { return last_stats_; }
+  /// Number of launches routed through this accelerator so far.
+  int launches() const { return launches_; }
+
+ private:
+  const mesh::CubedSphere& mesh_;
+  homme::Dims dims_;
+  std::vector<int> geom_map_;
+  sw::CoreGroup cg_;
+  sw::KernelStats last_stats_;
+  int launches_ = 0;
+};
+
+}  // namespace accel

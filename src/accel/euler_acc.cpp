@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/pipeline.hpp"
 #include "accel/tile_math.hpp"
 #include "sw/footprint.hpp"
 #include "homme/state.hpp"
@@ -121,57 +122,94 @@ sw::KernelStats euler_openacc(sw::CoreGroup& cg, PackedElems& p,
   return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
 }
 
+void EulerKernel::bind(Workset& ws) const {
+  ws.items(p_.nelem, p_.nlev);
+  ws.dvv = p_.dvv.data();
+  const std::size_t fs = p_.field_size();
+  const std::size_t geom = static_cast<std::size_t>(kGeomDoubles);
+  ws.bind({FieldId::kGeom, p_.geom.data(), geom, geom, 1, 0, false});
+  ws.bind({FieldId::kDp, p_.dp.data(), fs, fs, 1, 0, false});
+  ws.bind({FieldId::kVn01, const_cast<double*>(dv_.vn01.data()), fs, fs, 1, 0,
+           false});
+  ws.bind({FieldId::kVn02, const_cast<double*>(dv_.vn02.data()), fs, fs, 1, 0,
+           false});
+  if (cfg_.shared_extra > 0) {
+    ws.bind({FieldId::kExtra, const_cast<double*>(dv_.extra.data()), fs, fs,
+             cfg_.shared_extra, static_cast<std::size_t>(p_.nelem) * fs,
+             false});
+  }
+  if (p_.qsize > 0) {
+    ws.bind({FieldId::kQdp, p_.qdp.data(),
+             static_cast<std::size_t>(p_.qsize) * fs, fs, p_.qsize, fs,
+             true});
+  }
+}
+
+std::vector<FieldUse> EulerKernel::footprint() const {
+  std::vector<FieldUse> uses = {
+      {FieldId::kGeom, Access::kRead, /*keep=*/true},
+      {FieldId::kDp, Access::kRead, /*keep=*/true},
+      {FieldId::kVn01, Access::kRead, false},
+      {FieldId::kVn02, Access::kRead, false},
+  };
+  if (cfg_.shared_extra > 0) uses.push_back({FieldId::kExtra, Access::kRead, false});
+  if (p_.qsize > 0) uses.push_back({FieldId::kQdp, Access::kReadWrite, false});
+  return uses;
+}
+
+std::size_t EulerKernel::transient_bytes(const Workset&,
+                                         const KeepSet& keep) const {
+  // Worst case per level chunk: four transient slices live at once
+  // (vn01, vn02, dp, extra-or-qdp) at the minimum chunk of one level,
+  // plus the jac tile when geometry is not resident, plus alignment slop.
+  std::size_t bytes = 4u * kNpp * sizeof(double) + 256;
+  if (!keep.has(FieldId::kGeom)) bytes += kNpp * sizeof(double) + 32;
+  return bytes;
+}
+
+void EulerKernel::element(sw::Cpe& cpe, ElemCtx& ctx) const {
+  const auto dvv = ctx.dvv();
+  const int nlev = p_.nlev;
+  FieldLease jac = ctx.lease(FieldId::kGeom, 0,
+                             static_cast<std::size_t>(kJac) * kNpp, kNpp,
+                             Access::kRead);
+  // Size the level chunk to what is actually free after the keep set,
+  // assuming all four streamed slices are transient (conservative when
+  // dp is resident). Byte totals are invariant to the chunk size.
+  const std::size_t free = cpe.ldm().free_bytes();
+  const std::size_t budget = free > 1024 ? free - 1024 : 0;
+  const std::size_t per_level = 4u * kNpp * sizeof(double);
+  const int chunk = std::clamp(static_cast<int>(budget / per_level), 1, nlev);
+  for (int s = 0; s < nlev; s += chunk) {
+    const int levs = std::min(chunk, nlev - s);
+    const std::size_t off = fidx(s, 0);
+    const std::size_t n = static_cast<std::size_t>(levs) * kNpp;
+    FieldLease vn01 = ctx.lease(FieldId::kVn01, 0, off, n, Access::kRead);
+    FieldLease vn02 = ctx.lease(FieldId::kVn02, 0, off, n, Access::kRead);
+    FieldLease dp = ctx.lease(FieldId::kDp, 0, off, n, Access::kRead);
+    for (int x = 0; x < cfg_.shared_extra; ++x) {
+      // CAM's extra shared arrays are transferred but not combined into
+      // the arithmetic (see EulerAccConfig::shared_extra).
+      FieldLease dummy = ctx.lease(FieldId::kExtra, x, off, n, Access::kRead);
+    }
+    for (int q = 0; q < p_.qsize; ++q) {
+      FieldLease qdp = ctx.lease(FieldId::kQdp, q, off, n, Access::kReadWrite);
+      for (int l = 0; l < levs; ++l) {
+        const std::size_t t = static_cast<std::size_t>(l) * kNpp;
+        euler_tile(dvv.data(), jac.data(), vn01.data() + t, vn02.data() + t,
+                   dp.data() + t, qdp.data() + t, cfg_.dt, &cpe,
+                   /*vectorized=*/true);
+      }
+    }
+  }
+}
+
 sw::KernelStats euler_athread(sw::CoreGroup& cg, PackedElems& p,
                               const EulerDerived& dv,
                               const EulerAccConfig& cfg) {
-  // Figure 2 decomposition: CPE column c handles element base+c, CPE row
-  // r handles layer block [r*L, (r+1)*L).
-  const int lev_per_row = (p.nlev + sw::kCpeRows - 1) / sw::kCpeRows;
-
-  auto kernel = [&](sw::Cpe& cpe) -> sw::Task {
-    for (int base = 0; base + cpe.col() < p.nelem;
-         base += sw::kCpeCols) {
-      const int e = base + cpe.col();
-      const int s = cpe.row() * lev_per_row;
-      const int levs = std::min(lev_per_row, p.nlev - s);
-      if (levs <= 0) continue;
-      const std::size_t n = static_cast<std::size_t>(levs) * kNpp;
-      sw::LdmFrame frame(cpe.ldm());
-      auto jac = cpe.ldm().alloc<double>(kNpp);
-      auto vn01 = cpe.ldm().alloc<double>(n);
-      auto vn02 = cpe.ldm().alloc<double>(n);
-      auto dp = cpe.ldm().alloc<double>(n);
-      auto qdp = cpe.ldm().alloc<double>(n);
-      const std::size_t off = p.elem_offset(e) + fidx(s, 0);
-      // Shared arrays enter the LDM ONCE per element (the whole point of
-      // the redesign) with one fused strided descriptor each.
-      cpe.get(jac, p.geom_of(e) + kJac * kNpp);
-      cpe.get(vn01, dv.vn01.data() + off);
-      cpe.get(vn02, dv.vn02.data() + off);
-      cpe.get(dp, p.dp.data() + off);
-      for (int x = 0; x < cfg.shared_extra; ++x) {
-        sw::LdmFrame dummy_frame(cpe.ldm());
-        auto dummy = cpe.ldm().alloc<double>(n);
-        cpe.get(dummy,
-                dv.extra.data() +
-                    static_cast<std::size_t>(x) * p.nelem * p.field_size() +
-                    off);
-      }
-      for (int q = 0; q < p.qsize; ++q) {
-        const std::size_t qoff = p.qdp_offset(e, q) + fidx(s, 0);
-        cpe.get(qdp, p.qdp.data() + qoff);
-        for (int l = 0; l < levs; ++l) {
-          const std::size_t t = static_cast<std::size_t>(l) * kNpp;
-          euler_tile(p.dvv.data(), jac.data(), vn01.data() + t,
-                     vn02.data() + t, dp.data() + t, qdp.data() + t, cfg.dt,
-                     &cpe, /*vectorized=*/true);
-        }
-        cpe.put(p.qdp.data() + qoff, std::span<const double>(qdp));
-      }
-      co_await cpe.yield();
-    }
-  };
-  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+  EulerKernel k(p, dv, cfg);
+  KernelPipeline pipe({&k});
+  return pipe.run(cg);
 }
 
 }  // namespace accel

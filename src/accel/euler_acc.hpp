@@ -1,5 +1,6 @@
 #pragma once
 
+#include "accel/kernel.hpp"
 #include "accel/packed.hpp"
 #include "sw/core_group.hpp"
 
@@ -52,7 +53,30 @@ sw::KernelStats euler_openacc(sw::CoreGroup& cg, PackedElems& p,
                               const EulerDerived& dv,
                               const EulerAccConfig& cfg);
 
-/// Athread fine-grained port (Algorithm 2). Mutates p.qdp.
+/// euler_step behind the declared-footprint pipeline interface: geometry
+/// and dp are keep-candidates shared across the tracer loop (and, in a
+/// chain, with hypervis/remap); tracers stream level-chunked.
+class EulerKernel final : public Kernel {
+ public:
+  EulerKernel(PackedElems& p, const EulerDerived& dv,
+              const EulerAccConfig& cfg)
+      : p_(p), dv_(dv), cfg_(cfg) {}
+
+  std::string_view name() const override { return "euler_step"; }
+  void bind(Workset& ws) const override;
+  std::vector<FieldUse> footprint() const override;
+  std::size_t transient_bytes(const Workset& ws,
+                              const KeepSet& keep) const override;
+  void element(sw::Cpe& cpe, ElemCtx& ctx) const override;
+
+ private:
+  PackedElems& p_;
+  const EulerDerived& dv_;
+  EulerAccConfig cfg_;
+};
+
+/// Athread fine-grained port (Algorithm 2), now a one-kernel pipeline.
+/// Mutates p.qdp.
 sw::KernelStats euler_athread(sw::CoreGroup& cg, PackedElems& p,
                               const EulerDerived& dv,
                               const EulerAccConfig& cfg);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "accel/pipeline.hpp"
 #include "accel/tile_math.hpp"
 #include "homme/state.hpp"
 #include "sw/task.hpp"
@@ -96,39 +97,82 @@ sw::KernelStats hypervis_openacc(sw::CoreGroup& cg, PackedElems& p,
                 static_cast<double>(fields.size()) * sw::kSpawnCycles);
 }
 
+std::string_view HypervisKernel::name() const {
+  switch (which_) {
+    case HvKernel::kDp1:
+      return "hypervis_dp1";
+    case HvKernel::kDp2:
+      return "hypervis_dp2";
+    case HvKernel::kBiharmDp3d:
+      return "biharmonic_dp3d";
+  }
+  return "hypervis";
+}
+
+std::vector<FieldId> HypervisKernel::field_ids() const {
+  if (which_ == HvKernel::kBiharmDp3d) return {FieldId::kDp};
+  return {FieldId::kU1, FieldId::kU2, FieldId::kT};
+}
+
+void HypervisKernel::bind(Workset& ws) const {
+  ws.items(p_.nelem, p_.nlev);
+  ws.dvv = p_.dvv.data();
+  const std::size_t fs = p_.field_size();
+  const std::size_t geom = static_cast<std::size_t>(kGeomDoubles);
+  ws.bind({FieldId::kGeom, p_.geom.data(), geom, geom, 1, 0, false});
+  if (which_ == HvKernel::kBiharmDp3d) {
+    ws.bind({FieldId::kDp, p_.dp.data(), fs, fs, 1, 0, true});
+  } else {
+    ws.bind({FieldId::kU1, p_.u1.data(), fs, fs, 1, 0, true});
+    ws.bind({FieldId::kU2, p_.u2.data(), fs, fs, 1, 0, true});
+    ws.bind({FieldId::kT, p_.T.data(), fs, fs, 1, 0, true});
+  }
+}
+
+std::vector<FieldUse> HypervisKernel::footprint() const {
+  std::vector<FieldUse> uses = {{FieldId::kGeom, Access::kRead, /*keep=*/true}};
+  for (FieldId f : field_ids()) {
+    uses.push_back({f, Access::kReadWrite, /*keep=*/true});
+  }
+  return uses;
+}
+
+std::size_t HypervisKernel::transient_bytes(const Workset& ws,
+                                            const KeepSet& keep) const {
+  std::size_t bytes = 128;  // slop for lease alignment
+  bool field_missing = false;
+  for (FieldId f : field_ids()) {
+    if (!keep.has(f)) field_missing = true;
+  }
+  if (field_missing) {
+    bytes += ws.at(field_ids().front()).extent * sizeof(double) + 32;
+  }
+  if (!keep.has(FieldId::kGeom)) bytes += 4u * kNpp * sizeof(double) + 32;
+  return bytes;
+}
+
+void HypervisKernel::element(sw::Cpe& cpe, ElemCtx& ctx) const {
+  const auto dvv = ctx.dvv();
+  // The leading four packed tiles are exactly the ones hv_tile indexes
+  // (kJac..kGinv22), so the prefix lease doubles as its geometry base.
+  FieldLease geom =
+      ctx.lease(FieldId::kGeom, 0, 0, 4u * kNpp, Access::kRead);
+  const std::size_t fs = p_.field_size();
+  for (FieldId f : field_ids()) {
+    FieldLease fld = ctx.lease(f, 0, 0, fs, Access::kReadWrite);
+    for (int lev = 0; lev < p_.nlev; ++lev) {
+      hv_tile(which_, dvv.data(), geom.data(), fld.data() + fidx(lev, 0),
+              cfg_.nu_dt, &cpe, /*vectorized=*/true);
+    }
+  }
+}
+
 sw::KernelStats hypervis_athread(sw::CoreGroup& cg, PackedElems& p,
                                  HvKernel which,
                                  const HypervisAccConfig& cfg) {
-  auto fields = hv_fields(p, which);
-  auto kernel = [&](sw::Cpe& cpe) -> sw::Task {
-    for (int e = cpe.id(); e < p.nelem; e += sw::kCpesPerGroup) {
-      sw::LdmFrame frame(cpe.ldm());
-      auto geom = cpe.ldm().alloc<double>(kGeomDoubles);
-      cpe.get(geom, p.geom_of(e));  // metric resident for the whole element
-      // Process each field in level chunks that fit the LDM.
-      const int chunk = 32;
-      auto buf = cpe.ldm().alloc<double>(
-          static_cast<std::size_t>(chunk) * kNpp);
-      for (double* base : fields) {
-        for (int s = 0; s < p.nlev; s += chunk) {
-          const int levs = std::min(chunk, p.nlev - s);
-          const std::size_t off = p.elem_offset(e) + fidx(s, 0);
-          const std::size_t n = static_cast<std::size_t>(levs) * kNpp;
-          cpe.dma_wait(cpe.dma_get(buf.data(), base + off,
-                                   n * sizeof(double)));
-          for (int l = 0; l < levs; ++l) {
-            hv_tile(which, p.dvv.data(), geom.data(),
-                    buf.data() + static_cast<std::size_t>(l) * kNpp,
-                    cfg.nu_dt, &cpe, /*vectorized=*/true);
-          }
-          cpe.dma_wait(cpe.dma_put(base + off, buf.data(),
-                                   n * sizeof(double)));
-        }
-      }
-      co_await cpe.yield();
-    }
-  };
-  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+  HypervisKernel k(p, which, cfg);
+  KernelPipeline pipe({&k});
+  return pipe.run(cg);
 }
 
 }  // namespace accel

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "accel/kernel.hpp"
 #include "accel/packed.hpp"
 #include "sw/core_group.hpp"
 
@@ -34,6 +35,31 @@ void hypervis_ref(PackedElems& p, HvKernel which,
 sw::KernelStats hypervis_openacc(sw::CoreGroup& cg, PackedElems& p,
                                  HvKernel which,
                                  const HypervisAccConfig& cfg);
+
+/// One dissipation kernel behind the declared-footprint interface. The
+/// four metric tiles it reads (jac, ginv11/12/22) are the leading tiles
+/// of the packed geometry, so its geometry lease is the prefix [0, 4*16)
+/// — a subset of what euler/rhs keep resident in a chain.
+class HypervisKernel final : public Kernel {
+ public:
+  HypervisKernel(PackedElems& p, HvKernel which, const HypervisAccConfig& cfg)
+      : p_(p), which_(which), cfg_(cfg) {}
+
+  std::string_view name() const override;
+  void bind(Workset& ws) const override;
+  std::vector<FieldUse> footprint() const override;
+  std::size_t transient_bytes(const Workset& ws,
+                              const KeepSet& keep) const override;
+  void element(sw::Cpe& cpe, ElemCtx& ctx) const override;
+
+ private:
+  std::vector<FieldId> field_ids() const;
+
+  PackedElems& p_;
+  HvKernel which_;
+  HypervisAccConfig cfg_;
+};
+
 sw::KernelStats hypervis_athread(sw::CoreGroup& cg, PackedElems& p,
                                  HvKernel which,
                                  const HypervisAccConfig& cfg);

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "sw/core_group.hpp"
+
+/// \file kernel.hpp
+/// The declared-footprint kernel interface of the kernel-pipeline layer.
+///
+/// Instead of open-coding its DMA gets, an accel kernel *declares* the
+/// per-element LDM field footprint it touches (read / keep / write sets)
+/// and expresses its data movement as leases against that declaration.
+/// The KernelPipeline (pipeline.hpp) turns the declarations of a whole
+/// kernel chain into a keep-set admission plan: fields several kernels
+/// share stay resident in LDM between kernels, and the per-CPE residency
+/// ledger skips the redundant transfers — the scheduling abstraction the
+/// O2ATH toolkit derives from the same idea, applied to this simulator.
+
+namespace accel {
+
+class ElemCtx;  // defined in pipeline.hpp
+
+/// Identity of one main-memory field a kernel can lease.
+enum class FieldId : std::uint16_t {
+  kGeom = 0,  ///< packed geometry tiles of the element
+  kDp,        ///< layer thickness
+  kU1,        ///< contravariant wind 1
+  kU2,        ///< contravariant wind 2
+  kT,         ///< temperature
+  kQdp,       ///< tracer mass (sub-indexed by tracer)
+  kVn01,      ///< time-averaged mass flux 1 (euler derived)
+  kVn02,      ///< time-averaged mass flux 2 (euler derived)
+  kExtra,     ///< euler's stand-in shared arrays (sub-indexed)
+  kPhis,      ///< surface geopotential
+  kColT,      ///< physics column temperature
+  kColQ,      ///< physics column humidity
+  kColU,      ///< physics column zonal wind
+  kColV,      ///< physics column meridional wind
+  kColDp,     ///< physics column thickness
+  kColP,      ///< physics column mid-level pressure
+};
+
+enum class Access {
+  kRead,       ///< staged in, never written back
+  kReadWrite,  ///< staged in, written back
+  kWrite,      ///< fully overwritten: no stage-in, written back
+};
+
+/// One entry of a kernel's declared per-element footprint.
+struct FieldUse {
+  FieldId id;
+  Access access = Access::kRead;
+  /// Candidate for cross-kernel LDM residency: the pipeline may keep this
+  /// field's element block resident between kernels of a chain.
+  bool keep = false;
+};
+
+/// How a FieldId maps onto main memory: address of (item, sub, offset) is
+/// base + item * item_stride + sub * sub_stride + offset (doubles).
+struct FieldBinding {
+  FieldId id{};
+  double* base = nullptr;
+  std::size_t item_stride = 0;  ///< doubles between items
+  std::size_t extent = 0;       ///< doubles per (item, sub) block
+  int subcount = 1;             ///< sub-fields per item (tracers, ...)
+  std::size_t sub_stride = 0;   ///< doubles between sub-fields
+  bool writable = false;
+};
+
+/// The merged binding table of a kernel chain plus the common iteration
+/// space (items = elements or columns).
+class Workset {
+ public:
+  int nitems = 0;
+  int nlev = 0;                    ///< vertical extent (chunk planning)
+  const double* dvv = nullptr;     ///< GLL derivative matrix (16 doubles),
+                                   ///< pinned resident by the pipeline
+
+  /// Register a binding; kernels sharing a FieldId must agree on it.
+  void bind(const FieldBinding& b) {
+    if (const FieldBinding* have = find(b.id)) {
+      if (have->base != b.base || have->extent != b.extent ||
+          have->item_stride != b.item_stride ||
+          have->subcount != b.subcount || have->sub_stride != b.sub_stride) {
+        throw std::logic_error(
+            "Workset: kernels disagree on a field binding");
+      }
+      if (b.writable && !have->writable) {
+        const_cast<FieldBinding*>(have)->writable = true;
+      }
+      return;
+    }
+    bindings_.push_back(b);
+  }
+
+  const FieldBinding* find(FieldId id) const {
+    for (const auto& b : bindings_) {
+      if (b.id == id) return &b;
+    }
+    return nullptr;
+  }
+
+  const FieldBinding& at(FieldId id) const {
+    const FieldBinding* b = find(id);
+    if (b == nullptr) {
+      throw std::logic_error("Workset: field not bound");
+    }
+    return *b;
+  }
+
+  double* addr(FieldId id, int item, int sub) const {
+    const FieldBinding& b = at(id);
+    assert(sub >= 0 && sub < b.subcount);
+    return b.base + static_cast<std::size_t>(item) * b.item_stride +
+           static_cast<std::size_t>(sub) * b.sub_stride;
+  }
+
+  /// Set (or check) the common iteration space.
+  void items(int n, int levels) {
+    if (nitems == 0) {
+      nitems = n;
+      nlev = levels;
+      return;
+    }
+    if (nitems != n || nlev != levels) {
+      throw std::logic_error("Workset: kernels disagree on iteration space");
+    }
+  }
+
+  const std::vector<FieldBinding>& bindings() const { return bindings_; }
+
+ private:
+  std::vector<FieldBinding> bindings_;
+};
+
+/// The set of fields admitted for cross-kernel residency.
+struct KeepSet {
+  std::vector<FieldId> ids;
+  bool has(FieldId id) const {
+    for (FieldId x : ids) {
+      if (x == id) return true;
+    }
+    return false;
+  }
+};
+
+/// One accel kernel behind the declared-footprint interface.
+///
+/// Fusible kernels express their whole per-element work in element():
+/// the pipeline schedules them element-major on one CoreGroup launch and
+/// serves their leases from the shared keep set. Non-fusible kernels
+/// (e.g. the register-communication scan of compute_and_apply_rhs, whose
+/// level decomposition spans CPE rows) keep their own launch() and run as
+/// a pipeline barrier between fused segments.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual bool fusible() const { return true; }
+
+  /// Check the workset shape; throw std::invalid_argument when the kernel
+  /// cannot run on it.
+  virtual void validate(const Workset&) const {}
+
+  /// Register this kernel's fields and iteration space.
+  virtual void bind(Workset& ws) const = 0;
+
+  /// The per-element LDM footprint (read/keep/write sets).
+  virtual std::vector<FieldUse> footprint() const = 0;
+
+  /// Worst-case transient LDM bytes element() needs *beyond* the keep
+  /// buffers, given keep set \p keep (admission uses the max over the
+  /// chain). Kernels size their level chunks to the actual free space at
+  /// run time, so this is the minimum that must be guaranteed.
+  virtual std::size_t transient_bytes(const Workset&, const KeepSet&) const {
+    return 0;
+  }
+
+  /// Per-element work of a fusible kernel, expressed as leases on ctx.
+  virtual void element(sw::Cpe&, ElemCtx&) const {
+    throw std::logic_error("Kernel::element not implemented");
+  }
+
+  /// Whole-launch fallback of a non-fusible kernel.
+  virtual sw::KernelStats launch(sw::CoreGroup&, const Workset&) const {
+    throw std::logic_error("Kernel::launch only valid for non-fusible kernels");
+  }
+};
+
+}  // namespace accel

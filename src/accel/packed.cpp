@@ -63,13 +63,20 @@ PackedElems PackedElems::from_state(const mesh::CubedSphere& m,
                                     const homme::Dims& d,
                                     const homme::State& s,
                                     const std::vector<int>& elems) {
+  return from_state(m, d, s, elems, elems);
+}
+
+PackedElems PackedElems::from_state(const mesh::CubedSphere& m,
+                                    const homme::Dims& d,
+                                    const homme::State& s,
+                                    const std::vector<int>& state_elems,
+                                    const std::vector<int>& geom_elems) {
   PackedElems p;
-  init_common(p, static_cast<int>(elems.size()), d);
+  init_common(p, static_cast<int>(state_elems.size()), d);
   const std::size_t fs = p.field_size();
-  for (std::size_t i = 0; i < elems.size(); ++i) {
-    const int ge = elems[i];
-    pack_geometry(m.geom(ge), p.geom.data() + i * kGeomDoubles);
-    const auto& es = s[static_cast<std::size_t>(ge)];
+  for (std::size_t i = 0; i < state_elems.size(); ++i) {
+    pack_geometry(m.geom(geom_elems[i]), p.geom.data() + i * kGeomDoubles);
+    const auto& es = s[static_cast<std::size_t>(state_elems[i])];
     std::copy(es.u1.begin(), es.u1.end(), p.u1.begin() + i * fs);
     std::copy(es.u2.begin(), es.u2.end(), p.u2.begin() + i * fs);
     std::copy(es.T.begin(), es.T.end(), p.T.begin() + i * fs);
@@ -80,6 +87,21 @@ PackedElems PackedElems::from_state(const mesh::CubedSphere& m,
               p.phis.begin() + i * static_cast<std::size_t>(kNpp));
   }
   return p;
+}
+
+void PackedElems::to_state(homme::State& s,
+                           const std::vector<int>& state_elems) const {
+  const std::size_t fs = field_size();
+  for (std::size_t i = 0; i < state_elems.size(); ++i) {
+    auto& es = s[static_cast<std::size_t>(state_elems[i])];
+    std::copy(u1.begin() + i * fs, u1.begin() + (i + 1) * fs, es.u1.begin());
+    std::copy(u2.begin() + i * fs, u2.begin() + (i + 1) * fs, es.u2.begin());
+    std::copy(T.begin() + i * fs, T.begin() + (i + 1) * fs, es.T.begin());
+    std::copy(dp.begin() + i * fs, dp.begin() + (i + 1) * fs, es.dp.begin());
+    const std::size_t qfs = static_cast<std::size_t>(qsize) * fs;
+    std::copy(qdp.begin() + i * qfs, qdp.begin() + (i + 1) * qfs,
+              es.qdp.begin());
+  }
 }
 
 PackedElems PackedElems::synthetic(const mesh::CubedSphere& m,

@@ -51,6 +51,16 @@ struct PackedElems {
   static PackedElems from_state(const mesh::CubedSphere& m,
                                 const homme::Dims& d, const homme::State& s,
                                 const std::vector<int>& elems);
+  /// Pack state entries \p state_elems with geometry of mesh elements
+  /// \p geom_elems (same length) — for parallel dycores whose local
+  /// states index elements locally while geometry is global.
+  static PackedElems from_state(const mesh::CubedSphere& m,
+                                const homme::Dims& d, const homme::State& s,
+                                const std::vector<int>& state_elems,
+                                const std::vector<int>& geom_elems);
+  /// Write the prognostics (u1, u2, T, dp, qdp) back into \p s at
+  /// \p state_elems — the inverse of from_state's state copy.
+  void to_state(homme::State& s, const std::vector<int>& state_elems) const;
   /// Pack a synthetic smooth but non-trivial workset (for benches that do
   /// not want to build a big mesh state first).
   static PackedElems synthetic(const mesh::CubedSphere& m,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "accel/pipeline.hpp"
 #include "homme/dims.hpp"
 #include "sw/task.hpp"
 
@@ -202,45 +203,98 @@ sw::KernelStats physics_openacc(sw::CoreGroup& cg, PackedColumns& p,
                 static_cast<double>(kNumSchemes) * sw::kSpawnCycles);
 }
 
+std::string_view PhysicsSchemeKernel::name() const {
+  switch (scheme_) {
+    case kRadiation:
+      return "phys_radiation";
+    case kConvection:
+      return "phys_convection";
+    case kCondensation:
+      return "phys_condensation";
+    default:
+      return "phys_surface_pbl";
+  }
+}
+
+void PhysicsSchemeKernel::bind(Workset& ws) const {
+  ws.items(p_.ncols, p_.nlev);
+  const std::size_t n = static_cast<std::size_t>(p_.nlev);
+  ws.bind({FieldId::kColT, p_.t.data(), n, n, 1, 0, true});
+  ws.bind({FieldId::kColQ, p_.q.data(), n, n, 1, 0, true});
+  ws.bind({FieldId::kColU, p_.u.data(), n, n, 1, 0, true});
+  ws.bind({FieldId::kColV, p_.v.data(), n, n, 1, 0, true});
+  ws.bind({FieldId::kColDp, p_.dp.data(), n, n, 1, 0, false});
+  ws.bind({FieldId::kColP, p_.p.data(), n, n, 1, 0, false});
+}
+
+std::vector<FieldUse> PhysicsSchemeKernel::footprint() const {
+  return {
+      {FieldId::kColT, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kColQ, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kColU, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kColV, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kColDp, Access::kRead, /*keep=*/true},
+      {FieldId::kColP, Access::kRead, /*keep=*/true},
+  };
+}
+
+std::size_t PhysicsSchemeKernel::transient_bytes(const Workset& ws,
+                                                 const KeepSet& keep) const {
+  // phys::Column lives on the host heap; LDM transients are only the
+  // leases of fields admission left out.
+  std::size_t bytes = 128;
+  for (const FieldUse& u : footprint()) {
+    if (!keep.has(u.id)) bytes += ws.at(u.id).extent * sizeof(double) + 32;
+  }
+  return bytes;
+}
+
+void PhysicsSchemeKernel::element(sw::Cpe& cpe, ElemCtx& ctx) const {
+  const std::size_t n = static_cast<std::size_t>(p_.nlev);
+  FieldLease t = ctx.lease(FieldId::kColT, 0, 0, n, Access::kReadWrite);
+  FieldLease q = ctx.lease(FieldId::kColQ, 0, 0, n, Access::kReadWrite);
+  FieldLease u = ctx.lease(FieldId::kColU, 0, 0, n, Access::kReadWrite);
+  FieldLease v = ctx.lease(FieldId::kColV, 0, 0, n, Access::kReadWrite);
+  FieldLease dp = ctx.lease(FieldId::kColDp, 0, 0, n, Access::kRead);
+  FieldLease pr = ctx.lease(FieldId::kColP, 0, 0, n, Access::kRead);
+
+  const auto col = static_cast<std::size_t>(ctx.item());
+  phys::Column c(p_.nlev);
+  for (std::size_t l = 0; l < n; ++l) {
+    c.t[l] = t[l];
+    c.q[l] = q[l];
+    c.u[l] = u[l];
+    c.v[l] = v[l];
+    c.dp[l] = dp[l];
+    c.p[l] = pr[l];
+  }
+  c.ps = p_.ps[col];
+  c.sst = p_.sst[col];
+  c.lat = p_.lat[col];
+
+  phys::ColumnDiag diag;
+  run_scheme(scheme_, c, cfg_, diag);
+  cpe.scalar_flops(scheme_flops(scheme_, p_.nlev));
+
+  for (std::size_t l = 0; l < n; ++l) {
+    t[l] = c.t[l];
+    q[l] = c.q[l];
+    u[l] = c.u[l];
+    v[l] = c.v[l];
+  }
+}
+
 sw::KernelStats physics_athread(sw::CoreGroup& cg, PackedColumns& p,
                                 const PhysicsAccConfig& cfg) {
-  // One pass: stage each column once, run the whole suite, write once.
-  auto kernel = [&](sw::Cpe& cpe) -> sw::Task {
-    for (int col = cpe.id(); col < p.ncols; col += sw::kCpesPerGroup) {
-      sw::LdmFrame frame(cpe.ldm());
-      const std::size_t n = static_cast<std::size_t>(p.nlev);
-      auto buf = cpe.ldm().alloc<double>(6 * n);
-      const std::size_t o = p.off(col);
-      cpe.get(buf.subspan(0, n), p.t.data() + o);
-      cpe.get(buf.subspan(n, n), p.q.data() + o);
-      cpe.get(buf.subspan(2 * n, n), p.u.data() + o);
-      cpe.get(buf.subspan(3 * n, n), p.v.data() + o);
-      cpe.get(buf.subspan(4 * n, n), p.dp.data() + o);
-      cpe.get(buf.subspan(5 * n, n), p.p.data() + o);
-
-      phys::Column c = column_from_buffer(
-          buf, p.nlev, p.ps[static_cast<std::size_t>(col)],
-          p.sst[static_cast<std::size_t>(col)],
-          p.lat[static_cast<std::size_t>(col)]);
-      phys::ColumnDiag diag;
-      for (int scheme = 0; scheme < kNumSchemes; ++scheme) {
-        run_scheme(scheme, c, cfg, diag);
-        cpe.scalar_flops(scheme_flops(scheme, p.nlev));
-      }
-      column_to_buffer(c, buf);
-
-      cpe.dma_wait(
-          cpe.dma_put(p.t.data() + o, buf.data(), n * sizeof(double)));
-      cpe.dma_wait(
-          cpe.dma_put(p.q.data() + o, buf.data() + n, n * sizeof(double)));
-      cpe.dma_wait(cpe.dma_put(p.u.data() + o, buf.data() + 2 * n,
-                               n * sizeof(double)));
-      cpe.dma_wait(cpe.dma_put(p.v.data() + o, buf.data() + 3 * n,
-                               n * sizeof(double)));
-      co_await cpe.yield();
-    }
-  };
-  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+  // The whole suite as one fused pipeline: each column's six arrays are
+  // staged once, the later schemes' leases hit the residency ledger, and
+  // the four prognostics flush once per column.
+  PhysicsSchemeKernel rad(p, cfg, kRadiation);
+  PhysicsSchemeKernel conv(p, cfg, kConvection);
+  PhysicsSchemeKernel cond(p, cfg, kCondensation);
+  PhysicsSchemeKernel sfc(p, cfg, kSurfacePbl);
+  KernelPipeline pipe({&rad, &conv, &cond, &sfc});
+  return pipe.run(cg);
 }
 
 double columns_max_rel_diff(const PackedColumns& a, const PackedColumns& b) {

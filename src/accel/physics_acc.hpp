@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "accel/kernel.hpp"
 #include "physics/modules.hpp"
 #include "sw/core_group.hpp"
 
@@ -47,6 +48,31 @@ void physics_ref(PackedColumns& p, const PhysicsAccConfig& cfg);
 
 sw::KernelStats physics_openacc(sw::CoreGroup& cg, PackedColumns& p,
                                 const PhysicsAccConfig& cfg);
+
+/// One physics scheme (0=radiation, 1=convection, 2=condensation,
+/// 3=surface/PBL) as a pipeline kernel over the column iteration space.
+/// Fusing all four keeps each column's six arrays resident in LDM across
+/// the suite: the first scheme stages them, the rest hit the ledger, and
+/// the writeback flushes the four prognostics once.
+class PhysicsSchemeKernel final : public Kernel {
+ public:
+  PhysicsSchemeKernel(PackedColumns& p, const PhysicsAccConfig& cfg,
+                      int scheme)
+      : p_(p), cfg_(cfg), scheme_(scheme) {}
+
+  std::string_view name() const override;
+  void bind(Workset& ws) const override;
+  std::vector<FieldUse> footprint() const override;
+  std::size_t transient_bytes(const Workset& ws,
+                              const KeepSet& keep) const override;
+  void element(sw::Cpe& cpe, ElemCtx& ctx) const override;
+
+ private:
+  PackedColumns& p_;
+  PhysicsAccConfig cfg_;
+  int scheme_;
+};
+
 sw::KernelStats physics_athread(sw::CoreGroup& cg, PackedColumns& p,
                                 const PhysicsAccConfig& cfg);
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "accel/pipeline.hpp"
 #include "accel/tile_math.hpp"
 #include "homme/dims.hpp"
 #include "homme/remap.hpp"
@@ -148,80 +149,110 @@ sw::KernelStats remap_openacc(sw::CoreGroup& cg, PackedElems& p) {
   return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
 }
 
-sw::KernelStats remap_athread(sw::CoreGroup& cg, PackedElems& p) {
-  // The redesign of sections 7.3 + 7.5 combined: instead of per-column
-  // strided gathers (one 8-byte block per level — DMA-latency poison),
-  // each CPE owns whole elements, streams each field as ONE contiguous
-  // DMA, switches the array axis in LDM with the 8-shuffle register
-  // transpose, remaps the 16 now-contiguous columns, transposes back and
-  // streams the block out. Source/target grids are built once per
-  // element and reused across u, v, T and every tracer.
-  const int nlev = p.nlev;
-  auto kernel = [&](sw::Cpe& cpe) -> sw::Task {
-    const std::size_t n = p.field_size();  // nlev * 16
-    for (int e = cpe.id(); e < p.nelem; e += sw::kCpesPerGroup) {
-      const std::size_t eo = p.elem_offset(e);
-      sw::LdmFrame frame(cpe.ldm());
-      auto raw = cpe.ldm().alloc<double>(n);   // [lev][16] staging
-      auto ft = cpe.ldm().alloc<double>(n);    // [16][lev] transposed field
-      auto dpt = cpe.ldm().alloc<double>(n);   // [16][lev] transposed dp
-      auto tgt = cpe.ldm().alloc<double>(static_cast<std::size_t>(nlev));
-      double tgt_ref[kNpp];
+void RemapKernel::bind(Workset& ws) const {
+  ws.items(p_.nelem, p_.nlev);
+  const std::size_t fs = p_.field_size();
+  ws.bind({FieldId::kDp, p_.dp.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kU1, p_.u1.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kU2, p_.u2.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kT, p_.T.data(), fs, fs, 1, 0, true});
+  if (p_.qsize > 0) {
+    ws.bind({FieldId::kQdp, p_.qdp.data(),
+             static_cast<std::size_t>(p_.qsize) * fs, fs, p_.qsize, fs,
+             true});
+  }
+}
 
-      cpe.dma_wait(cpe.dma_get(raw.data(), p.dp.data() + eo,
-                               n * sizeof(double)));
-      sw::ldm_transpose(cpe, raw.data(), dpt.data(), nlev, kNpp);
-      for (int k = 0; k < kNpp; ++k) {
-        column_target(dpt.data() + static_cast<std::size_t>(k) * nlev, nlev,
-                      tgt.data());
-        tgt_ref[k] = tgt[0];  // uniform target thickness of this column
-      }
-      cpe.scalar_flops(static_cast<std::uint64_t>(kNpp * nlev));
-
-      auto remap_field = [&](double* base, bool as_ratio) {
-        cpe.dma_wait(cpe.dma_get(raw.data(), base + eo, n * sizeof(double)));
-        sw::ldm_transpose(cpe, raw.data(), ft.data(), nlev, kNpp);
-        for (int k = 0; k < kNpp; ++k) {
-          double* col = ft.data() + static_cast<std::size_t>(k) * nlev;
-          const double* src = dpt.data() + static_cast<std::size_t>(k) * nlev;
-          for (int l = 0; l < nlev; ++l) {
-            tgt[static_cast<std::size_t>(l)] = tgt_ref[k];
-          }
-          if (as_ratio) {
-            for (int l = 0; l < nlev; ++l) col[l] /= src[l];
-            cpe.scalar_flops(static_cast<std::uint64_t>(nlev));
-          }
-          homme::remap_column(
-              std::span<const double>(src, static_cast<std::size_t>(nlev)),
-              tgt, std::span<double>(col, static_cast<std::size_t>(nlev)));
-          cpe.scalar_flops(remap_flops(nlev));
-          if (as_ratio) {
-            for (int l = 0; l < nlev; ++l) col[l] *= tgt_ref[k];
-            cpe.scalar_flops(static_cast<std::uint64_t>(nlev));
-          }
-        }
-        sw::ldm_transpose(cpe, ft.data(), raw.data(), kNpp, nlev);
-        cpe.dma_wait(cpe.dma_put(base + eo, raw.data(), n * sizeof(double)));
-      };
-      remap_field(p.u1.data(), false);
-      remap_field(p.u2.data(), false);
-      remap_field(p.T.data(), false);
-      for (int q = 0; q < p.qsize; ++q) {
-        remap_field(p.qdp.data() + p.qdp_offset(e, q) - eo, true);
-      }
-      // Write the reference thickness back ([lev][16] is uniform per
-      // column, so fill the staging block directly).
-      for (int lev = 0; lev < nlev; ++lev) {
-        for (int k = 0; k < kNpp; ++k) {
-          raw[fidx(lev, k)] = tgt_ref[k];
-        }
-      }
-      cpe.dma_wait(cpe.dma_put(p.dp.data() + eo, raw.data(),
-                               n * sizeof(double)));
-      co_await cpe.yield();
-    }
+std::vector<FieldUse> RemapKernel::footprint() const {
+  std::vector<FieldUse> uses = {
+      {FieldId::kDp, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kU1, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kU2, Access::kReadWrite, /*keep=*/true},
+      {FieldId::kT, Access::kReadWrite, /*keep=*/true},
   };
-  return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+  if (p_.qsize > 0) uses.push_back({FieldId::kQdp, Access::kReadWrite, false});
+  return uses;
+}
+
+std::size_t RemapKernel::transient_bytes(const Workset& ws,
+                                         const KeepSet&) const {
+  // Transposed dp + transposed field + target column scratch, plus one
+  // full-extent transient lease (tracers always stream), plus slop.
+  const std::size_t n = ws.at(FieldId::kDp).extent;
+  return (3 * n + static_cast<std::size_t>(ws.nlev)) * sizeof(double) + 256;
+}
+
+void RemapKernel::element(sw::Cpe& cpe, ElemCtx& ctx) const {
+  // Sections 7.3 + 7.5 combined: each field streams as ONE contiguous
+  // block, the 8-shuffle register transpose switches the array axis in
+  // LDM, the 16 now-contiguous columns remap, and the block transposes
+  // back. The source/target grids are built once and reused across u, v,
+  // T and every tracer; in a chain the prognostic leases resolve to the
+  // buffers a preceding kernel left resident.
+  const int nlev = p_.nlev;
+  const std::size_t n = p_.field_size();  // nlev * 16
+  auto dpt = cpe.ldm().alloc<double>(n);  // [16][lev] transposed dp
+  auto ft = cpe.ldm().alloc<double>(n);   // [16][lev] transposed field
+  auto tgt = cpe.ldm().alloc<double>(static_cast<std::size_t>(nlev));
+  double tgt_ref[kNpp];
+
+  {
+    FieldLease dps = ctx.lease(FieldId::kDp, 0, 0, n, Access::kRead);
+    sw::ldm_transpose(cpe, dps.data(), dpt.data(), nlev, kNpp);
+  }
+  for (int k = 0; k < kNpp; ++k) {
+    column_target(dpt.data() + static_cast<std::size_t>(k) * nlev, nlev,
+                  tgt.data());
+    tgt_ref[k] = tgt[0];  // uniform target thickness of this column
+  }
+  cpe.scalar_flops(static_cast<std::uint64_t>(kNpp * nlev));
+
+  auto remap_field = [&](FieldId id, int sub, bool as_ratio) {
+    FieldLease fld = ctx.lease(id, sub, 0, n, Access::kReadWrite);
+    sw::ldm_transpose(cpe, fld.data(), ft.data(), nlev, kNpp);
+    for (int k = 0; k < kNpp; ++k) {
+      double* col = ft.data() + static_cast<std::size_t>(k) * nlev;
+      const double* src = dpt.data() + static_cast<std::size_t>(k) * nlev;
+      for (int l = 0; l < nlev; ++l) {
+        tgt[static_cast<std::size_t>(l)] = tgt_ref[k];
+      }
+      if (as_ratio) {
+        for (int l = 0; l < nlev; ++l) col[l] /= src[l];
+        cpe.scalar_flops(static_cast<std::uint64_t>(nlev));
+      }
+      homme::remap_column(
+          std::span<const double>(src, static_cast<std::size_t>(nlev)), tgt,
+          std::span<double>(col, static_cast<std::size_t>(nlev)));
+      cpe.scalar_flops(remap_flops(nlev));
+      if (as_ratio) {
+        for (int l = 0; l < nlev; ++l) col[l] *= tgt_ref[k];
+        cpe.scalar_flops(static_cast<std::uint64_t>(nlev));
+      }
+    }
+    sw::ldm_transpose(cpe, ft.data(), fld.data(), kNpp, nlev);
+  };
+  remap_field(FieldId::kU1, 0, false);
+  remap_field(FieldId::kU2, 0, false);
+  remap_field(FieldId::kT, 0, false);
+  for (int q = 0; q < p_.qsize; ++q) {
+    remap_field(FieldId::kQdp, q, true);
+  }
+  {
+    // dp becomes the reference thickness: a pure overwrite, so the lease
+    // skips the stage-in ([lev][16] is uniform per column).
+    FieldLease dpw = ctx.lease(FieldId::kDp, 0, 0, n, Access::kWrite);
+    for (int lev = 0; lev < nlev; ++lev) {
+      for (int k = 0; k < kNpp; ++k) {
+        dpw[fidx(lev, k)] = tgt_ref[k];
+      }
+    }
+  }
+}
+
+sw::KernelStats remap_athread(sw::CoreGroup& cg, PackedElems& p) {
+  RemapKernel k(p);
+  KernelPipeline pipe({&k});
+  return pipe.run(cg);
 }
 
 }  // namespace accel

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "accel/kernel.hpp"
 #include "accel/packed.hpp"
 #include "sw/core_group.hpp"
 
@@ -22,6 +23,25 @@ namespace accel {
 void remap_ref(PackedElems& p);
 
 sw::KernelStats remap_openacc(sw::CoreGroup& cg, PackedElems& p);
+
+/// vertical_remap behind the declared-footprint interface: consumes the
+/// prognostic fields a preceding euler/hypervis left resident (dp, u1,
+/// u2, T) and streams tracers; rebuilds dp as the reference grid.
+class RemapKernel final : public Kernel {
+ public:
+  explicit RemapKernel(PackedElems& p) : p_(p) {}
+
+  std::string_view name() const override { return "vertical_remap"; }
+  void bind(Workset& ws) const override;
+  std::vector<FieldUse> footprint() const override;
+  std::size_t transient_bytes(const Workset& ws,
+                              const KeepSet& keep) const override;
+  void element(sw::Cpe& cpe, ElemCtx& ctx) const override;
+
+ private:
+  PackedElems& p_;
+};
+
 sw::KernelStats remap_athread(sw::CoreGroup& cg, PackedElems& p);
 
 }  // namespace accel

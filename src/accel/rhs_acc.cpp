@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "accel/pipeline.hpp"
 #include "accel/tile_math.hpp"
 #include "homme/dims.hpp"
 #include "homme/state.hpp"
@@ -332,13 +333,12 @@ sw::KernelStats rhs_openacc(sw::CoreGroup& cg, PackedElems& p,
   return cg.run(kernel, sw::kCpesPerGroup, 5.0 * sw::kSpawnCycles);
 }
 
-sw::KernelStats rhs_athread(sw::CoreGroup& cg, PackedElems& p,
-                            const RhsAccConfig& cfg) {
-  if (p.nlev % sw::kCpeRows != 0) {
-    throw std::invalid_argument(
-        "rhs_athread: nlev must be a multiple of the CPE row count (8); "
-        "the Figure 2 layer decomposition requires equal blocks");
-  }
+namespace {
+
+/// The Figure 2 register-communication implementation, shared by the
+/// public wrapper and RhsKernel::launch.
+sw::KernelStats rhs_athread_impl(sw::CoreGroup& cg, PackedElems& p,
+                                 const RhsAccConfig& cfg) {
   const int levs = p.nlev / sw::kCpeRows;
   const std::size_t n = static_cast<std::size_t>(levs) * kNpp;
 
@@ -426,6 +426,53 @@ sw::KernelStats rhs_athread(sw::CoreGroup& cg, PackedElems& p,
     }
   };
   return cg.run(kernel, sw::kCpesPerGroup, sw::kSpawnCycles);
+}
+
+}  // namespace
+
+void RhsKernel::validate(const Workset&) const {
+  if (p_.nlev % sw::kCpeRows != 0) {
+    throw std::invalid_argument(
+        "rhs_athread: nlev must be a multiple of the CPE row count (8); "
+        "the Figure 2 layer decomposition requires equal blocks");
+  }
+}
+
+void RhsKernel::bind(Workset& ws) const {
+  ws.items(p_.nelem, p_.nlev);
+  ws.dvv = p_.dvv.data();
+  const std::size_t fs = p_.field_size();
+  const std::size_t geom = static_cast<std::size_t>(kGeomDoubles);
+  ws.bind({FieldId::kGeom, p_.geom.data(), geom, geom, 1, 0, false});
+  ws.bind({FieldId::kU1, p_.u1.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kU2, p_.u2.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kT, p_.T.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kDp, p_.dp.data(), fs, fs, 1, 0, true});
+  ws.bind({FieldId::kPhis, p_.phis.data(), kNpp, kNpp, 1, 0, false});
+}
+
+std::vector<FieldUse> RhsKernel::footprint() const {
+  // Declared for introspection; the kernel is non-fusible (its column
+  // scans span CPE rows), so these never enter a fused keep plan.
+  return {
+      {FieldId::kGeom, Access::kRead, false},
+      {FieldId::kU1, Access::kReadWrite, false},
+      {FieldId::kU2, Access::kReadWrite, false},
+      {FieldId::kT, Access::kReadWrite, false},
+      {FieldId::kDp, Access::kReadWrite, false},
+      {FieldId::kPhis, Access::kRead, false},
+  };
+}
+
+sw::KernelStats RhsKernel::launch(sw::CoreGroup& cg, const Workset&) const {
+  return rhs_athread_impl(cg, p_, cfg_);
+}
+
+sw::KernelStats rhs_athread(sw::CoreGroup& cg, PackedElems& p,
+                            const RhsAccConfig& cfg) {
+  RhsKernel k(p, cfg);
+  KernelPipeline pipe({&k});
+  return pipe.run(cg);
 }
 
 }  // namespace accel

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "accel/kernel.hpp"
 #include "accel/packed.hpp"
 #include "sw/core_group.hpp"
 
@@ -33,6 +34,27 @@ void rhs_ref(PackedElems& p, const RhsAccConfig& cfg);
 /// OpenACC-style port. Mutates p.u1/u2/T/dp.
 sw::KernelStats rhs_openacc(sw::CoreGroup& cg, PackedElems& p,
                             const RhsAccConfig& cfg);
+
+/// compute_and_apply_rhs in the pipeline layer. The kernel is
+/// *non-fusible*: its vertical scans run as register communication along
+/// whole CPE columns (Figure 2), which the element-major fused schedule
+/// cannot express — so the pipeline runs it as a barrier through
+/// launch() between fused segments.
+class RhsKernel final : public Kernel {
+ public:
+  RhsKernel(PackedElems& p, const RhsAccConfig& cfg) : p_(p), cfg_(cfg) {}
+
+  std::string_view name() const override { return "compute_and_apply_rhs"; }
+  bool fusible() const override { return false; }
+  void validate(const Workset& ws) const override;
+  void bind(Workset& ws) const override;
+  std::vector<FieldUse> footprint() const override;
+  sw::KernelStats launch(sw::CoreGroup& cg, const Workset& ws) const override;
+
+ private:
+  PackedElems& p_;
+  RhsAccConfig cfg_;
+};
 
 /// Athread fine-grained port with register-communication scans.
 /// Requires p.nlev to be a multiple of the CPE row count (8).

@@ -6,6 +6,7 @@
 
 #include "accel/euler_acc.hpp"
 #include "accel/hypervis_acc.hpp"
+#include "accel/pipeline.hpp"
 #include "accel/remap_acc.hpp"
 #include "accel/rhs_acc.hpp"
 #include "sw/cost_model.hpp"
@@ -66,7 +67,8 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
          return rhs_openacc(cg, p, rhs_cfg);
        },
        [&](sw::CoreGroup& cg, PackedElems& p) {
-         return rhs_athread(cg, p, rhs_cfg);
+         RhsKernel k(p, rhs_cfg);
+         return KernelPipeline({&k}).run(cg);
        }});
   specs.push_back(
       {"euler_step", 15.88, 175.73, 10.18, &euler_step_work,
@@ -75,7 +77,8 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
          return euler_openacc(cg, p, derived, euler_cfg);
        },
        [&](sw::CoreGroup& cg, PackedElems& p) {
-         return euler_athread(cg, p, derived, euler_cfg);
+         EulerKernel k(p, derived, euler_cfg);
+         return KernelPipeline({&k}).run(cg);
        }});
   specs.push_back({"vertical_remap", 11.38, 39.99, 16.17, &remap_work,
                    [&](PackedElems& p) { remap_ref(p); },
@@ -83,7 +86,8 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
                      return remap_openacc(cg, p);
                    },
                    [&](sw::CoreGroup& cg, PackedElems& p) {
-                     return remap_athread(cg, p);
+                     RemapKernel k(p);
+                     return KernelPipeline({&k}).run(cg);
                    }});
   auto add_hv = [&](const std::string& name, double pi, double pm, double pa,
                     HvKernel which, int apps) {
@@ -95,7 +99,8 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
            return hypervis_openacc(cg, p, which, hv_cfg);
          },
          [&, which](sw::CoreGroup& cg, PackedElems& p) {
-           return hypervis_athread(cg, p, which, hv_cfg);
+           HypervisKernel k(p, which, hv_cfg);
+           return KernelPipeline({&k}).run(cg);
          }});
     (void)apps;
   };
@@ -133,6 +138,8 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
     row.flops = ath_stats.totals.total_flops();
     row.acc_dma_bytes = acc_stats.totals.total_dma_bytes();
     row.athread_dma_bytes = ath_stats.totals.total_dma_bytes();
+    row.athread_dma_reused = ath_stats.totals.dma_reused_bytes;
+    row.athread_dma_cold = ath_stats.totals.dma_cold_bytes;
     row.acc_s = acc_stats.seconds;
     row.athread_s = ath_stats.seconds;
 

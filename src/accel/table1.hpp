@@ -41,6 +41,12 @@ struct Table1Row {
   std::uint64_t flops = 0;
   std::uint64_t acc_dma_bytes = 0;
   std::uint64_t athread_dma_bytes = 0;
+  /// Residency-ledger split of the athread traffic: bytes served from
+  /// LDM without a transfer vs bytes actually moved (reuse-aware
+  /// counters; reused + cold need not equal dma_bytes for kernels that
+  /// skip the ledger).
+  std::uint64_t athread_dma_reused = 0;
+  std::uint64_t athread_dma_cold = 0;
 
   double acc_speedup_vs_mpe() const { return mpe_s / acc_s; }
   double athread_speedup_vs_acc() const { return acc_s / athread_s; }

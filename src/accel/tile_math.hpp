@@ -1,5 +1,6 @@
 #pragma once
 
+#include "mesh/geometry.hpp"
 #include "mesh/gll.hpp"
 #include "sw/core_group.hpp"
 

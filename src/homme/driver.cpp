@@ -97,7 +97,11 @@ void Dycore::step(State& s) {
 
   ++step_count_;
   if (cfg_.remap_freq > 0 && step_count_ % cfg_.remap_freq == 0) {
-    vertical_remap(mesh_, dims_, s);
+    if (accel_ != nullptr) {
+      accel_->vertical_remap(s);
+    } else {
+      vertical_remap(mesh_, dims_, s);
+    }
   }
 }
 

@@ -23,6 +23,17 @@ struct DycoreConfig {
   bool hypervis_on = true;
 };
 
+/// Hook for offloading step phases to an accelerator backend (the
+/// accel:: kernel pipeline in this repo). The dycore stays ignorant of
+/// how the work runs — an attached accelerator simply replaces the host
+/// implementation of a phase with a bit-compatible one.
+class StepAccelerator {
+ public:
+  virtual ~StepAccelerator() = default;
+  /// Replace homme::vertical_remap for the whole state.
+  virtual void vertical_remap(State& s) = 0;
+};
+
 /// Conservation / sanity diagnostics of a state.
 struct Diagnostics {
   double dry_mass = 0.0;      ///< integral of dp dA (total air mass * g)
@@ -52,12 +63,17 @@ class Dycore {
   /// \p cmax (m/s) on mesh \p m.
   static double stable_dt(const mesh::CubedSphere& m, double cmax = 400.0);
 
+  /// Route supported step phases through \p accel (nullptr detaches).
+  /// The accelerator must outlive the dycore (not owned).
+  void attach_accelerator(StepAccelerator* accel) { accel_ = accel; }
+
  private:
   const mesh::CubedSphere& mesh_;
   Dims dims_;
   DycoreConfig cfg_;
   double min_dx_;
   int step_count_ = 0;
+  StepAccelerator* accel_ = nullptr;
   State stage1_, stage2_;
 };
 

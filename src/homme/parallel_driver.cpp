@@ -267,7 +267,12 @@ void ParallelDycore::step(net::Rank& r, State& s) {
 
   ++step_count_;
   if (cfg_.remap_freq > 0 && step_count_ % cfg_.remap_freq == 0) {
-    remap_local(s);  // column-local: no communication
+    // Column-local: no communication either way.
+    if (accel_ != nullptr) {
+      accel_->vertical_remap(s);
+    } else {
+      remap_local(s);
+    }
   }
 }
 

@@ -56,6 +56,11 @@ class ParallelDycore {
   /// Collective conservation diagnostics (allreduced).
   Diagnostics diagnose(net::Rank& r, const State& local) const;
 
+  /// Route the (purely local) vertical remap through \p accel
+  /// (nullptr detaches). The accelerator must outlive the dycore and
+  /// must have been built for this rank's local element order.
+  void attach_accelerator(StepAccelerator* accel) { accel_ = accel; }
+
  private:
   void dss_state(net::Rank& r, State& s);
   void rhs_stage(net::Rank& r, const State& base, const State& eval,
@@ -70,6 +75,7 @@ class ParallelDycore {
   BndryExchange::Mode mode_;
   BndryExchange bx_;
   int step_count_ = 0;
+  StepAccelerator* accel_ = nullptr;
   State stage1_, stage2_;
 };
 

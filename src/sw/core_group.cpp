@@ -176,6 +176,16 @@ CoreGroup::CoreGroup()
 
 KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
                            int ncpes, double spawn_overhead_cycles) {
+  RunOptions opts;
+  opts.ncpes = ncpes;
+  opts.spawn_overhead_cycles = spawn_overhead_cycles;
+  return run(make_kernel, opts);
+}
+
+KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
+                           const RunOptions& opts) {
+  const int ncpes = opts.ncpes;
+  const double spawn_overhead_cycles = opts.spawn_overhead_cycles;
   assert(ncpes >= 1 && ncpes <= kCpesPerGroup);
 
   // Reset chip state for a fresh kernel launch.
@@ -198,8 +208,15 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
     Cpe& c = cpes_[static_cast<std::size_t>(id)];
     c.clock_ = 0.0;
     c.ctr_ = CpeCounters{};
-    c.ldm_.reset();
-    c.ldm_.reset_peak();
+    if (opts.preserve_ldm) {
+      // Persistent-LDM launch: pinned data and its ledger survive; the
+      // peak restarts from the preserved allocation mark.
+      c.ldm_.reset_peak();
+    } else {
+      c.ldm_.reset();
+      c.ldm_.reset_peak();
+      c.ledger_.clear();
+    }
   }
 
   std::vector<Task> tasks;

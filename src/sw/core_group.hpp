@@ -11,6 +11,7 @@
 #include "sw/config.hpp"
 #include "sw/counters.hpp"
 #include "sw/ldm.hpp"
+#include "sw/residency.hpp"
 #include "sw/task.hpp"
 #include "sw/vreg.hpp"
 
@@ -66,6 +67,9 @@ class Cpe {
   int col() const { return col_; }
   Ldm& ldm() { return ldm_; }
   CpeCounters& counters() { return ctr_; }
+  /// Residency ledger: what currently lives in this CPE's LDM. Cleared at
+  /// launch start unless the launch preserves LDM contents.
+  ResidencyLedger& ledger() { return ledger_; }
   double clock() const { return clock_; }
 
   /// Account \p n scalar double-precision operations (1 flop/cycle).
@@ -174,12 +178,27 @@ class Cpe {
   double clock_ = 0.0;
   Ldm ldm_;
   CpeCounters ctr_;
+  ResidencyLedger ledger_;
 };
 
 /// The 8x8 CPE cluster plus scheduler and memory controller of one core
 /// group. CoreGroup::run() spawns one kernel coroutine per participating
 /// CPE, drives them to completion deterministically, and reports modeled
 /// time and performance counters.
+/// Launch parameters for CoreGroup::run.
+struct RunOptions {
+  int ncpes = kCpesPerGroup;
+  /// Cost of bringing up the parallel region (OpenACC pays this per
+  /// region; Athread typically once).
+  double spawn_overhead_cycles = 0.0;
+  /// Persistent-LDM launch: keep each CPE's LDM contents, allocation mark
+  /// and residency ledger from the previous launch, so launch-invariant
+  /// data (pinned constants tracked by the ledger) stays resident across
+  /// kernel launches. The LDM peak is re-based to the preserved mark so
+  /// per-launch peaks remain meaningful.
+  bool preserve_ldm = false;
+};
+
 class CoreGroup {
  public:
   CoreGroup();
@@ -190,6 +209,9 @@ class CoreGroup {
   KernelStats run(const std::function<Task(Cpe&)>& make_kernel,
                   int ncpes = kCpesPerGroup,
                   double spawn_overhead_cycles = 0.0);
+  /// Same, with full launch options (persistent-LDM launches).
+  KernelStats run(const std::function<Task(Cpe&)>& make_kernel,
+                  const RunOptions& opts);
 
   Cpe& cpe(int id) { return cpes_[static_cast<std::size_t>(id)]; }
 

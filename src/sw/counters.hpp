@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 /// \file counters.hpp
 /// Per-CPE and aggregated performance counters. The simulator measures
@@ -21,6 +23,12 @@ struct CpeCounters {
   std::uint64_t reg_sends = 0;      ///< register-communication messages sent
   std::uint64_t reg_recvs = 0;      ///< register-communication messages read
   std::uint64_t ldm_peak_bytes = 0; ///< high-water mark of LDM usage
+  /// Bytes a kernel-pipeline lease served straight from LDM-resident data
+  /// (a transfer the residency ledger proved redundant and skipped).
+  std::uint64_t dma_reused_bytes = 0;
+  /// Bytes the pipeline's lease/flush path actually moved over the bus
+  /// (subset of dma_get_bytes + dma_put_bytes attributable to staging).
+  std::uint64_t dma_cold_bytes = 0;
 
   CpeCounters& operator+=(const CpeCounters& o) {
     scalar_flops += o.scalar_flops;
@@ -31,6 +39,8 @@ struct CpeCounters {
     reg_sends += o.reg_sends;
     reg_recvs += o.reg_recvs;
     if (o.ldm_peak_bytes > ldm_peak_bytes) ldm_peak_bytes = o.ldm_peak_bytes;
+    dma_reused_bytes += o.dma_reused_bytes;
+    dma_cold_bytes += o.dma_cold_bytes;
     return *this;
   }
 
@@ -38,11 +48,43 @@ struct CpeCounters {
   std::uint64_t total_dma_bytes() const { return dma_get_bytes + dma_put_bytes; }
 };
 
+/// Difference of two counter snapshots taken on the same CPE (additive
+/// fields subtract; the LDM peak keeps the later high-water mark).
+inline CpeCounters counters_delta(const CpeCounters& after,
+                                  const CpeCounters& before) {
+  CpeCounters d;
+  d.scalar_flops = after.scalar_flops - before.scalar_flops;
+  d.vector_flops = after.vector_flops - before.vector_flops;
+  d.dma_get_bytes = after.dma_get_bytes - before.dma_get_bytes;
+  d.dma_put_bytes = after.dma_put_bytes - before.dma_put_bytes;
+  d.dma_ops = after.dma_ops - before.dma_ops;
+  d.reg_sends = after.reg_sends - before.reg_sends;
+  d.reg_recvs = after.reg_recvs - before.reg_recvs;
+  d.ldm_peak_bytes = after.ldm_peak_bytes;
+  d.dma_reused_bytes = after.dma_reused_bytes - before.dma_reused_bytes;
+  d.dma_cold_bytes = after.dma_cold_bytes - before.dma_cold_bytes;
+  return d;
+}
+
+/// One pipeline stage's share of a kernel launch (per-kernel breakdown of
+/// a fused multi-kernel launch, plus the trailing residency writeback).
+struct PhaseStats {
+  std::string name;
+  double cycles = 0.0;   ///< max over CPEs of the cycles spent in this phase
+  double seconds = 0.0;
+  CpeCounters totals;    ///< summed over all CPEs
+};
+
 /// Result of running one kernel on the simulated core group.
 struct KernelStats {
   double cycles = 0.0;       ///< modeled time: max CPE clock at completion
   double seconds = 0.0;      ///< cycles / clock frequency
   CpeCounters totals;        ///< summed over all CPEs
+  /// Per-kernel breakdown when the launch came from a KernelPipeline;
+  /// empty for plain CoreGroup::run launches. Phase cycles need not sum
+  /// to `cycles` (spawn overhead and the bandwidth floor apply only to
+  /// the whole launch).
+  std::vector<PhaseStats> phases;
 
   double gflops() const {
     return seconds > 0 ? static_cast<double>(totals.total_flops()) / seconds / 1e9
@@ -52,6 +94,13 @@ struct KernelStats {
     return seconds > 0
                ? static_cast<double>(totals.total_dma_bytes()) / seconds / 1e9
                : 0.0;
+  }
+  /// Fraction of requested staging bytes the residency ledger served from
+  /// LDM instead of the bus: reused / (reused + moved).
+  double reuse_fraction() const {
+    const double avoided = static_cast<double>(totals.dma_reused_bytes);
+    const double moved = static_cast<double>(totals.total_dma_bytes());
+    return avoided + moved > 0.0 ? avoided / (avoided + moved) : 0.0;
   }
 };
 

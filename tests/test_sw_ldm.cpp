@@ -66,6 +66,47 @@ TEST(Ldm, PeakTracksHighWaterMark) {
   EXPECT_EQ(ldm.used(), 0u);
 }
 
+TEST(Ldm, OverflowMessageReportsSizes) {
+  sw::Ldm ldm;
+  (void)ldm.alloc<std::byte>(sw::kLdmBytes - 96);
+  try {
+    (void)ldm.alloc<std::byte>(4096);
+    FAIL() << "expected LdmOverflow";
+  } catch (const sw::LdmOverflow& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4096"), std::string::npos) << what;    // requested
+    EXPECT_NE(what.find(" 96 "), std::string::npos) << what;    // free
+    EXPECT_NE(what.find(std::to_string(sw::kLdmBytes)), std::string::npos)
+        << what;                                                // capacity
+  }
+}
+
+TEST(Ldm, PeakSurvivesFrameRestore) {
+  sw::Ldm ldm;
+  {
+    sw::LdmFrame frame(ldm);
+    (void)ldm.alloc<double>(2000);
+  }
+  EXPECT_EQ(ldm.used(), 0u);
+  EXPECT_GE(ldm.peak(), 2000 * sizeof(double));
+  // A smaller allocation afterwards must not lower the recorded peak.
+  (void)ldm.alloc<double>(8);
+  EXPECT_GE(ldm.peak(), 2000 * sizeof(double));
+}
+
+TEST(Ldm, ResetPeakRebasesToCurrentMark) {
+  sw::Ldm ldm;
+  (void)ldm.alloc<double>(100);
+  {
+    sw::LdmFrame frame(ldm);
+    (void)ldm.alloc<double>(4000);
+  }
+  ldm.reset_peak();
+  // Peak rebases to the live allocation, not to zero.
+  EXPECT_EQ(ldm.peak(), ldm.used());
+  EXPECT_LT(ldm.peak(), 4000 * sizeof(double));
+}
+
 TEST(Ldm, DistinctAllocationsDoNotOverlap) {
   sw::Ldm ldm;
   auto a = ldm.alloc<double>(10);

@@ -1,0 +1,142 @@
+#include "sw/residency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace {
+
+sw::ResidentEntry make_entry(std::size_t extent_bytes) {
+  static std::array<std::byte, 4096> backing{};
+  sw::ResidentEntry e;
+  e.tag = 7;
+  e.sub = 0;
+  e.mem = backing.data();
+  e.ldm = std::span<std::byte>(backing.data(), extent_bytes);
+  e.extent_bytes = extent_bytes;
+  return e;
+}
+
+TEST(CoverPlan, FirstLeaseIsAllCold) {
+  auto e = make_entry(1024);
+  const auto plan = sw::plan_cover(e, 128, 512);
+  ASSERT_EQ(plan.nmiss, 1);
+  EXPECT_EQ(plan.miss[0].lo, 128u);
+  EXPECT_EQ(plan.miss[0].hi, 512u);
+  EXPECT_EQ(plan.reused_bytes, 0u);
+  EXPECT_EQ(plan.cold_bytes(), 384u);
+  EXPECT_EQ(e.lo, 128u);
+  EXPECT_EQ(e.hi, 512u);
+}
+
+TEST(CoverPlan, RepeatLeaseIsAllReused) {
+  auto e = make_entry(1024);
+  (void)sw::plan_cover(e, 0, 1024);
+  const auto plan = sw::plan_cover(e, 0, 1024);
+  EXPECT_EQ(plan.nmiss, 0);
+  EXPECT_EQ(plan.reused_bytes, 1024u);
+  EXPECT_EQ(plan.cold_bytes(), 0u);
+}
+
+TEST(CoverPlan, SubrangeOfHullIsReused) {
+  auto e = make_entry(1024);
+  (void)sw::plan_cover(e, 0, 1024);
+  const auto plan = sw::plan_cover(e, 256, 768);
+  EXPECT_EQ(plan.nmiss, 0);
+  EXPECT_EQ(plan.reused_bytes, 512u);
+  EXPECT_EQ(e.lo, 0u);  // hull never shrinks
+  EXPECT_EQ(e.hi, 1024u);
+}
+
+TEST(CoverPlan, ExtensionMovesOnlyTheNewBytes) {
+  auto e = make_entry(1024);
+  (void)sw::plan_cover(e, 256, 512);
+  const auto plan = sw::plan_cover(e, 0, 768);
+  ASSERT_EQ(plan.nmiss, 2);
+  EXPECT_EQ(plan.miss[0].lo, 0u);    // left extension
+  EXPECT_EQ(plan.miss[0].hi, 256u);
+  EXPECT_EQ(plan.miss[1].lo, 512u);  // right extension
+  EXPECT_EQ(plan.miss[1].hi, 768u);
+  EXPECT_EQ(plan.reused_bytes, 256u);
+  EXPECT_EQ(e.lo, 0u);
+  EXPECT_EQ(e.hi, 768u);
+}
+
+TEST(CoverPlan, DisjointLeaseSwallowsTheGap) {
+  auto e = make_entry(1024);
+  (void)sw::plan_cover(e, 0, 128);
+  const auto plan = sw::plan_cover(e, 512, 1024);
+  // One interval keeps describing the residency: the [128, 512) gap is
+  // transferred along with the new range.
+  ASSERT_EQ(plan.nmiss, 1);
+  EXPECT_EQ(plan.miss[0].lo, 128u);
+  EXPECT_EQ(plan.miss[0].hi, 1024u);
+  EXPECT_EQ(plan.reused_bytes, 0u);
+  EXPECT_EQ(e.lo, 0u);
+  EXPECT_EQ(e.hi, 1024u);
+}
+
+TEST(CoverPlan, FullOverwriteSkipsLoads) {
+  auto e = make_entry(1024);
+  (void)sw::plan_cover(e, 256, 512);
+  const auto plan = sw::plan_cover(e, 0, 1024, /*load_misses=*/false);
+  EXPECT_EQ(plan.nmiss, 0);
+  EXPECT_EQ(plan.cold_bytes(), 0u);
+  EXPECT_EQ(plan.reused_bytes, 256u);
+  EXPECT_EQ(e.lo, 0u);  // hull still widens
+  EXPECT_EQ(e.hi, 1024u);
+}
+
+TEST(ResidencyLedger, FindMatchesTagSubAndBase) {
+  sw::ResidencyLedger ledger;
+  auto e = make_entry(256);
+  (void)sw::plan_cover(e, 0, 256);
+  ledger.add(e);
+  EXPECT_NE(ledger.find(e.tag, e.sub, e.mem), nullptr);
+  EXPECT_EQ(ledger.find(e.tag, e.sub + 1, e.mem), nullptr);
+  EXPECT_EQ(ledger.find(static_cast<std::uint16_t>(e.tag + 1), e.sub, e.mem),
+            nullptr);
+  EXPECT_EQ(ledger.find(e.tag, e.sub, &ledger), nullptr);
+}
+
+TEST(ResidencyLedger, ClearScopedKeepsPersistentEntries) {
+  sw::ResidencyLedger ledger;
+  auto scoped = make_entry(256);
+  (void)sw::plan_cover(scoped, 0, 256);
+  ledger.add(scoped);
+  auto pinned = make_entry(128);
+  pinned.tag = 0xFFFF;
+  pinned.persistent = true;
+  (void)sw::plan_cover(pinned, 0, 128);
+  ledger.add(pinned);
+
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.resident_bytes(), 384u);
+  ledger.clear_scoped();
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_NE(ledger.find(0xFFFF, pinned.sub, pinned.mem), nullptr);
+  EXPECT_EQ(ledger.resident_bytes(), 128u);
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(ResidencyLedger, ForEachDirtyVisitsOnlyDirtyEntries) {
+  sw::ResidencyLedger ledger;
+  auto clean = make_entry(64);
+  (void)sw::plan_cover(clean, 0, 64);
+  ledger.add(clean);
+  auto written = make_entry(64);
+  written.sub = 1;
+  (void)sw::plan_cover(written, 0, 64);
+  written.dirty = true;
+  ledger.add(written);
+
+  int visits = 0;
+  ledger.for_each_dirty([&](sw::ResidentEntry& e) {
+    ++visits;
+    EXPECT_EQ(e.sub, 1);
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+}  // namespace
