@@ -1,0 +1,219 @@
+// Cost of the resilience layer: checkpoint serialize/deserialize and
+// file round-trip wall time (and bytes) for one process's state, plus
+// what a faulted accelerator launch costs once the host fallback redoes
+// it, against the clean offload and plain host remap baselines.
+//
+// Unlike the kernel benches these are *measured* host-side wall times —
+// checkpointing and fallback run on the MPE/host, not on the modeled CPE
+// cluster.
+//
+// Pass --json <path> to dump the numbers as machine-readable JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/accel_driver.hpp"
+#include "homme/checkpoint.hpp"
+#include "homme/init.hpp"
+#include "homme/remap.hpp"
+#include "sw/fault.hpp"
+
+namespace {
+
+struct Results {
+  std::size_t checkpoint_bytes = 0;
+  double serialize_s = 0.0;
+  double deserialize_s = 0.0;
+  double file_save_s = 0.0;
+  double file_load_s = 0.0;
+  double remap_host_s = 0.0;
+  double remap_offload_s = 0.0;
+  double remap_fallback_s = 0.0;
+};
+
+constexpr int kMeshNe = 2;
+constexpr int kNlev = 32;
+constexpr int kQsize = 4;
+constexpr int kReps = 5;
+
+/// Best-of-kReps wall time of \p fn, seconds.
+template <typename F>
+double timed(F&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < kReps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+const Results& results() {
+  static const Results r = [] {
+    Results out;
+    homme::Dims d;
+    d.nlev = kNlev;
+    d.qsize = kQsize;
+    auto mesh = mesh::CubedSphere::build(kMeshNe, mesh::kEarthRadius);
+    homme::State s = homme::baroclinic(mesh, d);
+    homme::init_tracers(mesh, d, s);
+
+    homme::CheckpointInfo info;
+    info.nelem = s.size();
+    info.dims = d;
+    info.step_count = 100;
+
+    const auto image = homme::serialize_checkpoint(info, s);
+    out.checkpoint_bytes = image.size();
+    out.serialize_s =
+        timed([&] { benchmark::DoNotOptimize(serialize_checkpoint(info, s)); });
+    out.deserialize_s = timed([&] {
+      homme::State restored;
+      homme::deserialize_checkpoint(image, restored);
+      benchmark::DoNotOptimize(restored);
+    });
+
+    const std::string path = "bench_resilience.ck";
+    out.file_save_s =
+        timed([&] { homme::save_checkpoint(path, info, s); });
+    out.file_load_s = timed([&] {
+      homme::State restored;
+      homme::load_checkpoint(path, restored);
+      benchmark::DoNotOptimize(restored);
+    });
+    std::remove(path.c_str());
+
+    out.remap_host_s = timed([&] {
+      homme::State w = s;
+      homme::vertical_remap_local(d, w);
+      benchmark::DoNotOptimize(w);
+    });
+
+    accel::PipelineAccelerator pa(mesh, d);
+    out.remap_offload_s = timed([&] {
+      homme::State w = s;
+      pa.vertical_remap(w);
+      benchmark::DoNotOptimize(w);
+    });
+
+    // Faulted launch: the first DMA descriptor of any CPE fails, the
+    // launch is discarded and the remap redone on the host. reset()
+    // re-arms the one-shot spec between reps.
+    sw::FaultPlan plan;
+    plan.inject({sw::FaultKind::kDmaFail, -1, 0});
+    pa.set_fault_plan(&plan);
+    out.remap_fallback_s = timed([&] {
+      plan.reset();
+      homme::State w = s;
+      pa.vertical_remap(w);
+      benchmark::DoNotOptimize(w);
+    });
+    if (pa.fallbacks() < kReps) {
+      std::fprintf(stderr,
+                   "bench_resilience: expected every faulted launch to fall "
+                   "back (got %d of %d)\n",
+                   pa.fallbacks(), kReps);
+    }
+    return out;
+  }();
+  return r;
+}
+
+void print_table() {
+  const Results& r = results();
+  std::printf("\n=== Resilience costs (ne=%d mesh, %d levels, %d tracers) "
+              "===\n",
+              kMeshNe, kNlev, kQsize);
+  std::printf("checkpoint image:      %zu bytes\n", r.checkpoint_bytes);
+  std::printf("serialize:             %.3e s  (%.1f MB/s)\n", r.serialize_s,
+              r.checkpoint_bytes / r.serialize_s / 1e6);
+  std::printf("deserialize+CRC:       %.3e s\n", r.deserialize_s);
+  std::printf("file save:             %.3e s\n", r.file_save_s);
+  std::printf("file load:             %.3e s\n", r.file_load_s);
+  std::printf("vertical remap host:   %.3e s\n", r.remap_host_s);
+  std::printf("vertical remap accel:  %.3e s (simulator wall time)\n",
+              r.remap_offload_s);
+  std::printf("faulted launch + host fallback: %.3e s (%.2fx host remap)\n\n",
+              r.remap_fallback_s, r.remap_fallback_s / r.remap_host_s);
+}
+
+bool write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_resilience: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const Results& r = results();
+  std::fprintf(
+      f,
+      "{\n  \"config\": {\"mesh_ne\": %d, \"nlev\": %d, \"qsize\": %d},\n"
+      "  \"checkpoint_bytes\": %zu,\n"
+      "  \"serialize_s\": %.9e,\n"
+      "  \"deserialize_s\": %.9e,\n"
+      "  \"file_save_s\": %.9e,\n"
+      "  \"file_load_s\": %.9e,\n"
+      "  \"remap_host_s\": %.9e,\n"
+      "  \"remap_offload_s\": %.9e,\n"
+      "  \"remap_fallback_s\": %.9e\n}\n",
+      kMeshNe, kNlev, kQsize, r.checkpoint_bytes, r.serialize_s,
+      r.deserialize_s, r.file_save_s, r.file_load_s, r.remap_host_s,
+      r.remap_offload_s, r.remap_fallback_s);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+void register_benchmarks() {
+  const Results& r = results();
+  for (auto [name, secs] :
+       {std::pair{"checkpoint/serialize", r.serialize_s},
+        std::pair{"checkpoint/deserialize", r.deserialize_s},
+        std::pair{"checkpoint/file_save", r.file_save_s},
+        std::pair{"checkpoint/file_load", r.file_load_s},
+        std::pair{"remap/host", r.remap_host_s},
+        std::pair{"remap/offload", r.remap_offload_s},
+        std::pair{"remap/fault_fallback", r.remap_fallback_s}}) {
+    auto* b = benchmark::RegisterBenchmark(
+        name, [secs](benchmark::State& state) {
+          for (auto _ : state) {
+            state.SetIterationTime(secs);
+          }
+        });
+    b->UseManualTime()->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = extract_json_path(argc, argv);
+  print_table();
+  if (!json_path.empty() && !write_json(json_path)) return 1;
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

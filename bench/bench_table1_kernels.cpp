@@ -69,13 +69,15 @@ bool write_json(const std::string& path) {
         "\"openacc_s\": %.9e, \"athread_s\": %.9e, \"flops\": %llu, "
         "\"openacc_dma_bytes\": %llu, \"athread_dma_bytes\": %llu, "
         "\"athread_dma_reused_bytes\": %llu, "
-        "\"athread_dma_cold_bytes\": %llu}%s\n",
+        "\"athread_dma_cold_bytes\": %llu, "
+        "\"athread_fallbacks\": %llu}%s\n",
         r.name.c_str(), r.intel_s, r.mpe_s, r.acc_s, r.athread_s,
         static_cast<unsigned long long>(r.flops),
         static_cast<unsigned long long>(r.acc_dma_bytes),
         static_cast<unsigned long long>(r.athread_dma_bytes),
         static_cast<unsigned long long>(r.athread_dma_reused),
         static_cast<unsigned long long>(r.athread_dma_cold),
+        static_cast<unsigned long long>(r.athread_fallbacks),
         i + 1 < rs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

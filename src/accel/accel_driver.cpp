@@ -4,6 +4,8 @@
 
 #include "accel/pipeline.hpp"
 #include "accel/remap_acc.hpp"
+#include "homme/remap.hpp"
+#include "sw/ldm.hpp"
 
 namespace accel {
 
@@ -17,15 +19,37 @@ void PipelineAccelerator::vertical_remap(homme::State& s) {
   std::iota(state_elems.begin(), state_elems.end(), 0);
   const std::vector<int>& geom_elems =
       geom_map_.empty() ? state_elems : geom_map_;
-  PackedElems p =
-      PackedElems::from_state(mesh_, dims_, s, state_elems, geom_elems);
-
-  RemapKernel k(p);
-  KernelPipeline pipe({&k});
-  last_stats_ = pipe.run(cg_);
   ++launches_;
+  try {
+    // The kernel reads and writes the packed image only; s is untouched
+    // until the successful write-back below, so a faulted launch can be
+    // discarded wholesale.
+    PackedElems p =
+        PackedElems::from_state(mesh_, dims_, s, state_elems, geom_elems);
 
-  p.to_state(s, state_elems);
+    RemapKernel k(p);
+    KernelPipeline pipe({&k});
+    last_stats_ = pipe.run(cg_);
+
+    p.to_state(s, state_elems);
+  } catch (const sw::KernelFault& e) {
+    degrade(s, e.what());
+  } catch (const sw::LdmOverflow& e) {
+    degrade(s, e.what());
+  } catch (const sw::SchedulerDeadlock& e) {
+    degrade(s, e.what());
+  }
+}
+
+void PipelineAccelerator::degrade(homme::State& s, const std::string& why) {
+  last_fault_ = why;
+  ++fallbacks_;
+  // The abandoned launch may have left persistent-LDM residency entries
+  // pinned to the destroyed packed image; purge before the next launch.
+  cg_.purge_ldm();
+  homme::vertical_remap_local(dims_, s);
+  last_stats_ = sw::KernelStats{};
+  last_stats_.totals.host_fallbacks = 1;
 }
 
 }  // namespace accel

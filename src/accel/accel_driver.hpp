@@ -1,10 +1,12 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "accel/packed.hpp"
 #include "homme/driver.hpp"
 #include "sw/core_group.hpp"
+#include "sw/fault.hpp"
 
 /// \file accel_driver.hpp
 /// Glue between the homme dycore and the accel kernel pipeline: a
@@ -29,20 +31,37 @@ class PipelineAccelerator final : public homme::StepAccelerator {
   PipelineAccelerator(const mesh::CubedSphere& m, const homme::Dims& d,
                       std::vector<int> geom_map = {});
 
+  /// Offload to the CPE pipeline; on a kernel fault (injected DMA/reg
+  /// failure, CPE death, LDM overflow, scheduler deadlock) the poisoned
+  /// launch is discarded — the host state was never touched — and the
+  /// remap re-runs on the host reference path, bit-identical to a
+  /// never-accelerated step. The fallback is recorded in the launch
+  /// stats (CpeCounters::host_fallbacks) and in fallbacks()/last_fault().
   void vertical_remap(homme::State& s) override;
+
+  /// Inject simulated faults into subsequent launches (nullptr detaches).
+  void set_fault_plan(sw::FaultPlan* plan) { cg_.set_fault_plan(plan); }
 
   /// Stats of the most recent offloaded launch (empty before the first).
   const sw::KernelStats& last_stats() const { return last_stats_; }
   /// Number of launches routed through this accelerator so far.
   int launches() const { return launches_; }
+  /// Launches discarded after a fault and redone on the host path.
+  int fallbacks() const { return fallbacks_; }
+  /// Diagnostic of the most recent fault that forced a fallback.
+  const std::string& last_fault() const { return last_fault_; }
 
  private:
+  void degrade(homme::State& s, const std::string& why);
+
   const mesh::CubedSphere& mesh_;
   homme::Dims dims_;
   std::vector<int> geom_map_;
   sw::CoreGroup cg_;
   sw::KernelStats last_stats_;
   int launches_ = 0;
+  int fallbacks_ = 0;
+  std::string last_fault_;
 };
 
 }  // namespace accel

@@ -140,6 +140,7 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
     row.athread_dma_bytes = ath_stats.totals.total_dma_bytes();
     row.athread_dma_reused = ath_stats.totals.dma_reused_bytes;
     row.athread_dma_cold = ath_stats.totals.dma_cold_bytes;
+    row.athread_fallbacks = ath_stats.totals.host_fallbacks;
     row.acc_s = acc_stats.seconds;
     row.athread_s = ath_stats.seconds;
 

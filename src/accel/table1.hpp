@@ -47,6 +47,9 @@ struct Table1Row {
   /// skip the ledger).
   std::uint64_t athread_dma_reused = 0;
   std::uint64_t athread_dma_cold = 0;
+  /// Athread launches the resilience layer discarded and redid on the
+  /// host path (0 in a healthy run; nonzero only under fault injection).
+  std::uint64_t athread_fallbacks = 0;
 
   double acc_speedup_vs_mpe() const { return mpe_s / acc_s; }
   double athread_speedup_vs_acc() const { return acc_s / athread_s; }

@@ -1,0 +1,338 @@
+#include "homme/checkpoint.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace homme {
+
+using mesh::kNpp;
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kFlagLimitTracers = 1u << 0;
+constexpr std::uint32_t kFlagHypervisOn = 1u << 1;
+constexpr std::uint32_t kFlagMoist = 1u << 2;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void put_payload(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& field) {
+  put<std::uint64_t>(out, field.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(field.data());
+  const std::size_t bytes = field.size() * sizeof(double);
+  out.insert(out.end(), p, p + bytes);
+  put<std::uint32_t>(out, crc32(p, bytes));
+}
+
+struct Reader {
+  std::span<const std::uint8_t> buf;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > buf.size()) {
+      throw CheckpointError("checkpoint: truncated image (need " +
+                            std::to_string(n) + " bytes at offset " +
+                            std::to_string(pos) + ", have " +
+                            std::to_string(buf.size() - pos) + ")");
+    }
+  }
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+  const std::uint8_t* raw(std::size_t n) {
+    need(n);
+    const std::uint8_t* p = buf.data() + pos;
+    pos += n;
+    return p;
+  }
+};
+
+void get_payload(Reader& r, std::vector<double>& field,
+                 std::size_t expected, const char* name, std::size_t elem) {
+  const auto count = r.get<std::uint64_t>();
+  if (count != expected) {
+    throw CheckpointError(
+        "checkpoint: field " + std::string(name) + " of element " +
+        std::to_string(elem) + " has " + std::to_string(count) +
+        " values, expected " + std::to_string(expected));
+  }
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(double);
+  const std::uint8_t* p = r.raw(bytes);
+  const auto stored = r.get<std::uint32_t>();
+  const std::uint32_t actual = crc32(p, bytes);
+  if (stored != actual) {
+    throw CheckpointError(
+        "checkpoint: CRC mismatch in field " + std::string(name) +
+        " of element " + std::to_string(elem) + " (stored " +
+        std::to_string(stored) + ", computed " + std::to_string(actual) + ")");
+  }
+  field.resize(count);
+  std::memcpy(field.data(), p, bytes);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_checkpoint(const CheckpointInfo& info,
+                                               const State& s) {
+  if (info.nelem != s.size()) {
+    throw CheckpointError("checkpoint: info.nelem (" +
+                          std::to_string(info.nelem) + ") != state size (" +
+                          std::to_string(s.size()) + ")");
+  }
+  std::uint32_t flags = 0;
+  if (info.config.limit_tracers) flags |= kFlagLimitTracers;
+  if (info.config.hypervis_on) flags |= kFlagHypervisOn;
+  if (info.dims.moist) flags |= kFlagMoist;
+
+  std::vector<std::uint8_t> out;
+  put<std::uint32_t>(out, kCheckpointMagic);
+  put<std::uint32_t>(out, kCheckpointVersion);
+  put<std::uint64_t>(out, info.nelem);
+  put<std::int32_t>(out, info.dims.nlev);
+  put<std::int32_t>(out, info.dims.qsize);
+  put<std::uint32_t>(out, flags);
+  put<std::int32_t>(out, info.config.remap_freq);
+  put<std::int64_t>(out, info.step_count);
+  put<std::uint64_t>(out, info.rng_seed);
+  put<double>(out, info.config.dt);
+  put<double>(out, info.config.nu);
+  put<std::uint32_t>(out, crc32(out.data(), out.size()));
+
+  for (const ElementState& es : s) {
+    put_payload(out, es.u1);
+    put_payload(out, es.u2);
+    put_payload(out, es.T);
+    put_payload(out, es.dp);
+    put_payload(out, es.qdp);
+    put_payload(out, es.phis);
+  }
+  return out;
+}
+
+CheckpointInfo deserialize_checkpoint(std::span<const std::uint8_t> image,
+                                      State& s) {
+  Reader r{image};
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kCheckpointMagic) {
+    throw CheckpointError("checkpoint: bad magic (not a SWCK checkpoint)");
+  }
+  const auto version = r.get<std::uint32_t>();
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint: unsupported version " +
+                          std::to_string(version) + " (this build reads " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+
+  CheckpointInfo info;
+  info.nelem = r.get<std::uint64_t>();
+  info.dims.nlev = r.get<std::int32_t>();
+  info.dims.qsize = r.get<std::int32_t>();
+  const auto flags = r.get<std::uint32_t>();
+  info.config.remap_freq = r.get<std::int32_t>();
+  info.step_count = r.get<std::int64_t>();
+  info.rng_seed = r.get<std::uint64_t>();
+  info.config.dt = r.get<double>();
+  info.config.nu = r.get<double>();
+  info.config.limit_tracers = (flags & kFlagLimitTracers) != 0;
+  info.config.hypervis_on = (flags & kFlagHypervisOn) != 0;
+  info.dims.moist = (flags & kFlagMoist) != 0;
+
+  const std::uint32_t stored_crc = r.get<std::uint32_t>();
+  const std::uint32_t actual_crc =
+      crc32(image.data(), r.pos - sizeof(std::uint32_t));
+  if (stored_crc != actual_crc) {
+    throw CheckpointError("checkpoint: header CRC mismatch (stored " +
+                          std::to_string(stored_crc) + ", computed " +
+                          std::to_string(actual_crc) + ")");
+  }
+  if (info.dims.nlev <= 0 || info.dims.qsize < 0) {
+    throw CheckpointError("checkpoint: implausible dims (nlev=" +
+                          std::to_string(info.dims.nlev) + ", qsize=" +
+                          std::to_string(info.dims.qsize) + ")");
+  }
+
+  const std::size_t fs = info.dims.field_size();
+  s.assign(static_cast<std::size_t>(info.nelem), ElementState(info.dims));
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    ElementState& es = s[e];
+    get_payload(r, es.u1, fs, "u1", e);
+    get_payload(r, es.u2, fs, "u2", e);
+    get_payload(r, es.T, fs, "T", e);
+    get_payload(r, es.dp, fs, "dp", e);
+    get_payload(r, es.qdp, static_cast<std::size_t>(info.dims.qsize) * fs,
+                "qdp", e);
+    get_payload(r, es.phis, kNpp, "phis", e);
+  }
+  if (r.pos != image.size()) {
+    throw CheckpointError("checkpoint: " +
+                          std::to_string(image.size() - r.pos) +
+                          " trailing bytes after last record");
+  }
+  return info;
+}
+
+void save_checkpoint(const std::string& path, const CheckpointInfo& info,
+                     const State& s) {
+  const std::vector<std::uint8_t> image = serialize_checkpoint(info, s);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw CheckpointError("checkpoint: cannot open " + path +
+                                " for writing");
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+  if (!f) throw CheckpointError("checkpoint: short write to " + path);
+}
+
+CheckpointInfo load_checkpoint(const std::string& path, State& s) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw CheckpointError("checkpoint: cannot open " + path);
+  const std::streamsize n = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(n));
+  f.read(reinterpret_cast<char*>(image.data()), n);
+  if (!f) throw CheckpointError("checkpoint: short read from " + path);
+  return deserialize_checkpoint(image, s);
+}
+
+std::string checkpoint_rank_path(const std::string& base, int rank) {
+  return base + ".r" + std::to_string(rank);
+}
+
+// ---------------------------------------------------------------------------
+// StateMonitor
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> StateMonitor::check(const State& s) const {
+  const int nlev = dims_.nlev;
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    const ElementState& es = s[e];
+    const std::pair<const char*, const std::vector<double>*> fields[] = {
+        {"u1", &es.u1}, {"u2", &es.u2}, {"T", &es.T},
+        {"dp", &es.dp}, {"qdp", &es.qdp}, {"phis", &es.phis}};
+    for (const auto& [name, vec] : fields) {
+      for (std::size_t f = 0; f < vec->size(); ++f) {
+        if (!std::isfinite((*vec)[f])) {
+          return "non-finite " + std::string(name) + " at element " +
+                 std::to_string(e) + ", lev " +
+                 std::to_string(f / kNpp) + ", gll " +
+                 std::to_string(f % kNpp);
+        }
+      }
+    }
+    for (int k = 0; k < kNpp; ++k) {
+      double ps = kPtop;
+      for (int lev = 0; lev < nlev; ++lev) {
+        const double dp = es.dp[fidx(lev, k)];
+        if (dp <= 0.0) {
+          return "non-positive layer mass dp=" + std::to_string(dp) +
+                 " at element " + std::to_string(e) + ", lev " +
+                 std::to_string(lev) + ", gll " + std::to_string(k);
+        }
+        ps += dp;
+      }
+      if (ps < ps_min || ps > ps_max) {
+        return "surface pressure " + std::to_string(ps) +
+               " Pa outside [" + std::to_string(ps_min) + ", " +
+               std::to_string(ps_max) + "] at element " + std::to_string(e) +
+               ", gll " + std::to_string(k);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// ResilientRunner
+// ---------------------------------------------------------------------------
+
+void ResilientRunner::run(net::Rank& r, State& local, int nsteps) {
+  const int target_total = dycore_.step_count() + nsteps;
+
+  dycore_.save(r, local, base_);
+  ++stats_.checkpoints;
+  int ckpt_step = dycore_.step_count();
+
+  while (dycore_.step_count() < target_total) {
+    dycore_.step(r, local);
+
+    const auto violation = monitor_.check(local);
+    if (r.allreduce_max(violation ? 1.0 : 0.0) > 0.0) {
+      ++stats_.rollbacks;
+      const int redo_target = dycore_.step_count();
+      dycore_.restore(r, local, base_);
+
+      // Re-run the lost steps on the host reference path: the most likely
+      // cause of a bad state mid-run is the accelerated path (the same
+      // reasoning behind accel::PipelineAccelerator's per-launch
+      // fallback), so rollback degrades the whole re-run.
+      StepAccelerator* accel = dycore_.accelerator();
+      dycore_.attach_accelerator(nullptr);
+      while (dycore_.step_count() < redo_target) {
+        dycore_.step(r, local);
+        ++stats_.host_redo_steps;
+      }
+      dycore_.attach_accelerator(accel);
+
+      const auto still = monitor_.check(local);
+      if (r.allreduce_max(still ? 1.0 : 0.0) > 0.0) {
+        throw CheckpointError(
+            "resilience: violation persists after host-path redo at step " +
+            std::to_string(redo_target) + ": " +
+            (still ? *still : std::string("(flagged on a peer rank)")));
+      }
+    }
+
+    if (dycore_.step_count() < target_total &&
+        dycore_.step_count() - ckpt_step >= freq_) {
+      dycore_.save(r, local, base_);
+      ++stats_.checkpoints;
+      ckpt_step = dycore_.step_count();
+    }
+  }
+}
+
+}  // namespace homme

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "homme/parallel_driver.hpp"
+#include "homme/state.hpp"
+
+/// \file checkpoint.hpp
+/// Versioned binary checkpoints of the dycore state, an invariant monitor
+/// over that state, and a rollback runner that ties the two together.
+///
+/// Multi-day runs across tens of thousands of nodes (the paper's 3-km
+/// production configuration) cannot restart from step 0 after a node
+/// failure. The resilience layer here gives the mini dycore the same
+/// machinery: periodic checkpoints with per-field CRCs, a StateMonitor
+/// that catches physically impossible states (NaN, non-positive layer
+/// mass, runaway surface pressure) before they propagate, and a
+/// ResilientRunner that rolls back to the last checkpoint and re-runs the
+/// faulty steps on the host reference path when a violation appears.
+/// Restart from a checkpoint is bit-identical to never having stopped.
+///
+/// Checkpoint format (native-endian, in-process):
+///   header  : magic "SWCK" (0x5357434B), version, nelem, nlev, qsize,
+///             flags (bit0 limit_tracers, bit1 hypervis_on, bit2 moist),
+///             remap_freq, step_count, rng_seed, dt, nu, header CRC32
+///   records : per element, fields u1, u2, T, dp, qdp, phis in order,
+///             each as (count:u64, doubles, payload CRC32)
+/// Version is checked before the CRC so a reader of a future format fails
+/// with "unsupported version" rather than a checksum mismatch.
+
+namespace homme {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x5357434Bu;  // "SWCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Byte offset of the version field inside a serialized checkpoint
+/// (immediately after the magic); exposed so tests can patch it.
+inline constexpr std::size_t kCheckpointVersionOffset = sizeof(std::uint32_t);
+
+/// A checkpoint could not be written, read, or validated.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything a checkpoint carries besides the field data itself.
+struct CheckpointInfo {
+  std::uint64_t nelem = 0;  ///< elements serialized (rank-local count)
+  Dims dims;
+  DycoreConfig config;
+  std::int64_t step_count = 0;
+  std::uint64_t rng_seed = 0;  ///< caller-defined (e.g. fault-plan seed)
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of \p n bytes.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+/// Serialize \p info + \p s into a self-validating byte image.
+std::vector<std::uint8_t> serialize_checkpoint(const CheckpointInfo& info,
+                                               const State& s);
+
+/// Inverse of serialize_checkpoint: validates magic, version, header CRC
+/// and every payload CRC, resizes \p s, and returns the header. Throws
+/// CheckpointError on any mismatch.
+CheckpointInfo deserialize_checkpoint(std::span<const std::uint8_t> image,
+                                      State& s);
+
+/// File round trip.
+void save_checkpoint(const std::string& path, const CheckpointInfo& info,
+                     const State& s);
+CheckpointInfo load_checkpoint(const std::string& path, State& s);
+
+/// Per-rank file name of a collective checkpoint: "<base>.r<rank>".
+std::string checkpoint_rank_path(const std::string& base, int rank);
+
+/// Invariant guard over a dycore state. A healthy state has finite
+/// fields, strictly positive layer thickness, and a surface pressure
+/// p_s = ptop + sum_k dp_k inside [ps_min, ps_max] in every column.
+class StateMonitor {
+ public:
+  explicit StateMonitor(const Dims& d) : dims_(d) {}
+
+  /// First violation found, or empty if the state is healthy. The
+  /// message names the element, field, level and GLL point.
+  std::optional<std::string> check(const State& s) const;
+
+  double ps_min = 1.0e4;  ///< Pa; ~100 hPa, below any terrestrial surface
+  double ps_max = 2.0e5;  ///< Pa; twice the reference surface pressure
+
+ private:
+  Dims dims_;
+};
+
+/// What the resilience layer did during a run.
+struct ResilienceStats {
+  int checkpoints = 0;      ///< collective checkpoints written
+  int rollbacks = 0;        ///< restores triggered by the monitor
+  int host_redo_steps = 0;  ///< steps re-run on the host path after rollback
+};
+
+/// Drives a ParallelDycore through n steps with periodic checkpoints and
+/// monitor-triggered rollback. When any rank's StateMonitor flags the
+/// state after a step (agreement reached by allreduce), every rank
+/// restores the last checkpoint and re-runs the lost steps with the
+/// accelerator detached — the host reference path — then reattaches it.
+/// A violation that survives the host re-run is a genuine model blow-up
+/// and is rethrown as CheckpointError.
+class ResilientRunner {
+ public:
+  /// \p checkpoint_base names the collective checkpoint files
+  /// (one "<base>.r<rank>" per rank); \p checkpoint_freq is in steps.
+  ResilientRunner(ParallelDycore& dycore, std::string checkpoint_base,
+                  int checkpoint_freq = 1)
+      : dycore_(dycore), base_(std::move(checkpoint_base)),
+        freq_(checkpoint_freq > 0 ? checkpoint_freq : 1),
+        monitor_(dycore.dims()) {}
+
+  /// Collective: call from every rank with its local state.
+  void run(net::Rank& r, State& local, int nsteps);
+
+  const ResilienceStats& stats() const { return stats_; }
+  StateMonitor& monitor() { return monitor_; }
+
+ private:
+  ParallelDycore& dycore_;
+  std::string base_;
+  int freq_;
+  StateMonitor monitor_;
+  ResilienceStats stats_;
+};
+
+}  // namespace homme

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "homme/checkpoint.hpp"
 #include "homme/dss.hpp"
 #include "homme/euler.hpp"
 #include "homme/ops.hpp"
@@ -277,49 +278,58 @@ void ParallelDycore::step(net::Rank& r, State& s) {
 }
 
 void ParallelDycore::remap_local(State& s) {
-  const HybridCoord hc = HybridCoord::uniform(dims_.nlev);
-  const int nlev = dims_.nlev;
-  std::vector<double> src(static_cast<std::size_t>(nlev)),
-      tgt(static_cast<std::size_t>(nlev)), col(static_cast<std::size_t>(nlev));
-  for (auto& es : s) {
-    for (int k = 0; k < kNpp; ++k) {
-      double ps = kPtop;
-      for (int lev = 0; lev < nlev; ++lev) {
-        src[static_cast<std::size_t>(lev)] = es.dp[fidx(lev, k)];
-        ps += es.dp[fidx(lev, k)];
-      }
-      for (int lev = 0; lev < nlev; ++lev) {
-        tgt[static_cast<std::size_t>(lev)] = hc.dp_ref(lev, ps);
-      }
-      auto remap_field = [&](std::vector<double>& field) {
-        for (int lev = 0; lev < nlev; ++lev) {
-          col[static_cast<std::size_t>(lev)] = field[fidx(lev, k)];
-        }
-        remap_column(src, tgt, col);
-        for (int lev = 0; lev < nlev; ++lev) {
-          field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
-        }
-      };
-      remap_field(es.u1);
-      remap_field(es.u2);
-      remap_field(es.T);
-      for (int q = 0; q < dims_.qsize; ++q) {
-        auto qf = es.q(q, dims_);
-        for (int lev = 0; lev < nlev; ++lev) {
-          col[static_cast<std::size_t>(lev)] =
-              qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
-        }
-        remap_column(src, tgt, col);
-        for (int lev = 0; lev < nlev; ++lev) {
-          qf[fidx(lev, k)] = col[static_cast<std::size_t>(lev)] *
-                             tgt[static_cast<std::size_t>(lev)];
-        }
-      }
-      for (int lev = 0; lev < nlev; ++lev) {
-        es.dp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
-      }
-    }
+  // The one shared implementation keeps the sequential driver, the
+  // distributed driver and the accelerator's host fallback bit-identical.
+  vertical_remap_local(dims_, s);
+}
+
+void ParallelDycore::save(net::Rank& r, const State& local,
+                          const std::string& base,
+                          std::uint64_t rng_seed) const {
+  CheckpointInfo info;
+  info.nelem = local.size();
+  info.dims = dims_;
+  info.config = cfg_;
+  info.step_count = step_count_;
+  info.rng_seed = rng_seed;
+  save_checkpoint(checkpoint_rank_path(base, r.rank()), info, local);
+  // The set is complete only when every rank has written its file.
+  r.barrier();
+}
+
+void ParallelDycore::restore(net::Rank& r, State& local,
+                             const std::string& base) {
+  State loaded;
+  const CheckpointInfo info =
+      load_checkpoint(checkpoint_rank_path(base, r.rank()), loaded);
+  if (info.dims.nlev != dims_.nlev || info.dims.qsize != dims_.qsize ||
+      info.dims.moist != dims_.moist) {
+    throw CheckpointError(
+        "checkpoint: dims mismatch (file nlev=" +
+        std::to_string(info.dims.nlev) + " qsize=" +
+        std::to_string(info.dims.qsize) + ", dycore nlev=" +
+        std::to_string(dims_.nlev) + " qsize=" + std::to_string(dims_.qsize) +
+        ")");
   }
+  if (info.config.dt != cfg_.dt || info.config.nu != cfg_.nu ||
+      info.config.remap_freq != cfg_.remap_freq ||
+      info.config.limit_tracers != cfg_.limit_tracers ||
+      info.config.hypervis_on != cfg_.hypervis_on) {
+    throw CheckpointError(
+        "checkpoint: config mismatch (file dt=" +
+        std::to_string(info.config.dt) + " nu=" +
+        std::to_string(info.config.nu) + " remap_freq=" +
+        std::to_string(info.config.remap_freq) + ")");
+  }
+  if (info.nelem != static_cast<std::uint64_t>(bx_.nlocal())) {
+    throw CheckpointError("checkpoint: rank layout mismatch (file has " +
+                          std::to_string(info.nelem) +
+                          " elements, this rank owns " +
+                          std::to_string(bx_.nlocal()) + ")");
+  }
+  local = std::move(loaded);
+  step_count_ = static_cast<int>(info.step_count);
+  r.barrier();
 }
 
 Diagnostics ParallelDycore::diagnose(net::Rank& r, const State& s) const {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "homme/bndry.hpp"
 #include "homme/driver.hpp"
@@ -60,6 +62,24 @@ class ParallelDycore {
   /// (nullptr detaches). The accelerator must outlive the dycore and
   /// must have been built for this rank's local element order.
   void attach_accelerator(StepAccelerator* accel) { accel_ = accel; }
+  StepAccelerator* accelerator() const { return accel_; }
+
+  int step_count() const { return step_count_; }
+  const Dims& dims() const { return dims_; }
+  const DycoreConfig& config() const { return cfg_; }
+
+  /// Collective checkpoint: every rank writes its local state (plus the
+  /// shared step count and config) to "<base>.r<rank>", then barriers so
+  /// the set is complete before anyone proceeds. \p rng_seed is carried
+  /// verbatim for the caller (e.g. a fault-plan seed).
+  void save(net::Rank& r, const State& local, const std::string& base,
+            std::uint64_t rng_seed = 0) const;
+
+  /// Collective restore: the inverse of save(). Validates that the
+  /// checkpoint matches this dycore's dims/config and rank layout, loads
+  /// the local state bit-identically, and rewinds the step counter to the
+  /// checkpointed value. Throws CheckpointError on any mismatch.
+  void restore(net::Rank& r, State& local, const std::string& base);
 
  private:
   void dss_state(net::Rank& r, State& s);

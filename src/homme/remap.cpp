@@ -95,13 +95,19 @@ void remap_column(std::span<const double> src_dp,
 }
 
 void vertical_remap(const mesh::CubedSphere& m, const Dims& d, State& s) {
+  assert(static_cast<std::size_t>(m.nelem()) == s.size());
+  (void)m;
+  vertical_remap_local(d, s);
+}
+
+void vertical_remap_local(const Dims& d, State& s) {
   const HybridCoord hc = HybridCoord::uniform(d.nlev);
   const int nlev = d.nlev;
   std::vector<double> src(static_cast<std::size_t>(nlev)),
       tgt(static_cast<std::size_t>(nlev)), col(static_cast<std::size_t>(nlev));
 
-  for (int e = 0; e < m.nelem(); ++e) {
-    ElementState& es = s[static_cast<std::size_t>(e)];
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    ElementState& es = s[e];
     for (int k = 0; k < kNpp; ++k) {
       double ps = kPtop;
       for (int lev = 0; lev < nlev; ++lev) {

@@ -30,4 +30,11 @@ void remap_column(std::span<const double> src_dp,
 /// pressure, then reset dp to the reference thicknesses.
 void vertical_remap(const mesh::CubedSphere& m, const Dims& d, State& s);
 
+/// The same remap over every element of \p s regardless of mesh extent:
+/// the remap is purely column-local, so this single implementation serves
+/// the sequential driver (s = whole mesh), the distributed driver (s = a
+/// rank's local subset) and the accelerator's host-fallback path — all
+/// bit-identical.
+void vertical_remap_local(const Dims& d, State& s);
+
 }  // namespace homme

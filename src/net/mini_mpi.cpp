@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -14,6 +15,34 @@ namespace net {
 
 void Rank::send(int dst, int tag, std::span<const double> data) {
   assert(dst >= 0 && dst < size_);
+  if (sw::FaultPlan* fp = cluster_->faults_) {
+    if (const auto f = fp->on_message(rank_)) {
+      const std::size_t bytes = data.size() * sizeof(double);
+      fp->note_fired(*f, bytes);
+      switch (f->kind) {
+        case sw::FaultKind::kMsgDrop:
+          return;  // lost on the wire
+        case sw::FaultKind::kMsgDuplicate:
+          cluster_->deposit(dst,
+                            Cluster::Message{rank_, tag,
+                                             std::vector<double>(data.begin(),
+                                                                 data.end())});
+          break;  // plus the normal copy below
+        case sw::FaultKind::kMsgTruncate: {
+          cluster_->deposit(
+              dst, Cluster::Message{rank_, tag,
+                                    std::vector<double>(
+                                        data.begin(),
+                                        data.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                data.size() / 2))});
+          return;  // the tail never arrives
+        }
+        default:
+          break;  // kernel-side kinds are never returned by on_message
+      }
+    }
+  }
   cluster_->deposit(dst,
                     Cluster::Message{rank_, tag,
                                      std::vector<double>(data.begin(),
@@ -28,10 +57,15 @@ Request Rank::isend(int dst, int tag, std::span<const double> data) {
 void Rank::recv(int src, int tag, std::span<double> out) {
   auto msg = cluster_->retrieve(rank_, src, tag);
   if (msg.payload.size() != out.size()) {
-    throw std::runtime_error("mini_mpi: message length mismatch (got " +
-                             std::to_string(msg.payload.size()) +
-                             ", expected " + std::to_string(out.size()) +
-                             ")");
+    throw CommFault(
+        "mini_mpi: rank " + std::to_string(rank_) + " recv from " +
+            std::to_string(src) + " tag " + std::to_string(tag) +
+            ": payload length mismatch (got " +
+            std::to_string(msg.payload.size() * sizeof(double)) +
+            " bytes, expected " + std::to_string(out.size() * sizeof(double)) +
+            ")",
+        rank_, src, tag, out.size() * sizeof(double),
+        msg.payload.size() * sizeof(double));
   }
   std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
 }
@@ -75,7 +109,28 @@ double Rank::allreduce_sum(double value) {
     c.coll_cv_.notify_all();
     return c.coll_result_;
   }
-  c.coll_cv_.wait(lock, [&] { return c.coll_generation_ != my_gen; });
+  const auto done = [&] {
+    return c.coll_generation_ != my_gen || c.aborted_.load();
+  };
+  if (c.watchdog_seconds_ > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(c.watchdog_seconds_);
+    if (!c.coll_cv_.wait_until(lock, deadline, done)) {
+      throw CommTimeout("mini_mpi: rank " + std::to_string(rank_) +
+                            " blocked in a collective past the " +
+                            std::to_string(c.watchdog_seconds_) +
+                            " s watchdog",
+                        rank_, -1, -1);
+    }
+  } else {
+    c.coll_cv_.wait(lock, done);
+  }
+  if (c.coll_generation_ == my_gen) {
+    throw CommFault("mini_mpi: rank " + std::to_string(rank_) +
+                        " aborted in a collective: a peer rank failed",
+                    rank_, -1, -1);
+  }
   return c.coll_result_;
 }
 
@@ -136,6 +191,7 @@ void Cluster::deposit(int dst, Message msg) {
 Cluster::Message Cluster::retrieve(int self, int src, int tag) {
   Mailbox& box = mailbox(self);
   std::unique_lock<std::mutex> lock(box.mu);
+  bool timed_out = false;
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -144,8 +200,37 @@ Cluster::Message Cluster::retrieve(int self, int src, int tag) {
         return msg;
       }
     }
-    box.cv.wait(lock);
+    if (aborted_.load()) {
+      throw CommFault("mini_mpi: rank " + std::to_string(self) +
+                          " aborted while waiting for src " +
+                          std::to_string(src) + " tag " + std::to_string(tag) +
+                          ": a peer rank failed",
+                      self, src, tag);
+    }
+    if (timed_out) {
+      throw CommTimeout("mini_mpi: watchdog timeout after " +
+                            std::to_string(watchdog_seconds_) + " s: rank " +
+                            std::to_string(self) +
+                            " blocked in recv(src=" + std::to_string(src) +
+                            ", tag=" + std::to_string(tag) + ")",
+                        self, src, tag);
+    }
+    if (watchdog_seconds_ > 0.0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double>(watchdog_seconds_);
+      timed_out = box.cv.wait_until(lock, deadline) ==
+                  std::cv_status::timeout;
+    } else {
+      box.cv.wait(lock);
+    }
   }
+}
+
+void Cluster::abort_peers() {
+  aborted_.store(true);
+  coll_cv_.notify_all();
+  for (auto& box : mailboxes_) box->cv.notify_all();
 }
 
 void Cluster::run(const std::function<void(Rank&)>& fn) {
@@ -154,6 +239,7 @@ void Cluster::run(const std::function<void(Rank&)>& fn) {
   coll_generation_ = 0;
   coll_acc_ = 0.0;
   coll_result_ = 0.0;
+  aborted_.store(false);
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
     box->messages.clear();
@@ -173,10 +259,13 @@ void Cluster::run(const std::function<void(Rank&)>& fn) {
       try {
         fn(rank);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-        // Unblock peers waiting on collectives so the join terminates.
-        coll_cv_.notify_all();
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock peers waiting on collectives or receives so the join
+        // terminates: a failed rank must never hang the cluster.
+        abort_peers();
       }
     });
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -10,6 +11,8 @@
 #include <mutex>
 #include <span>
 #include <vector>
+
+#include "sw/fault.hpp"
 
 /// \file mini_mpi.hpp
 /// An in-process message-passing runtime with MPI-shaped semantics.
@@ -22,10 +25,49 @@
 /// be tested for equivalence against their sequential references.
 /// Machine-scale communication cost comes from the analytic model in
 /// network_model.hpp instead.
+///
+/// Resilience: the cluster accepts a sw::FaultPlan that injects message
+/// drop / duplication / truncation on the Nth send of a chosen rank, and
+/// a watchdog (default off) that bounds every blocking receive and
+/// collective. Any fault surfaces as a typed net::CommFault — a length
+/// mismatch or truncation at the receiver, a net::CommTimeout naming the
+/// blocked rank/src/tag for a lost message — never as a hang: when one
+/// rank fails, the cluster aborts every peer still blocked in it.
 
 namespace net {
 
 class Cluster;
+
+/// Typed surface of a communication failure: which rank, which peer,
+/// which tag, and the byte counts involved.
+class CommFault : public std::runtime_error {
+ public:
+  CommFault(const std::string& what, int rank, int peer, int tag,
+            std::size_t bytes_expected = 0, std::size_t bytes_got = 0)
+      : std::runtime_error(what), rank_(rank), peer_(peer), tag_(tag),
+        bytes_expected_(bytes_expected), bytes_got_(bytes_got) {}
+
+  int rank() const { return rank_; }
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+  std::size_t bytes_expected() const { return bytes_expected_; }
+  std::size_t bytes_got() const { return bytes_got_; }
+
+ private:
+  int rank_;
+  int peer_;
+  int tag_;
+  std::size_t bytes_expected_;
+  std::size_t bytes_got_;
+};
+
+/// The cluster watchdog fired: a receive or collective blocked past the
+/// configured bound. The mini-MPI analogue of sw::SchedulerDeadlock.
+class CommTimeout : public CommFault {
+ public:
+  CommTimeout(const std::string& what, int rank, int src, int tag)
+      : CommFault(what, rank, src, tag) {}
+};
 
 /// A posted nonblocking operation. Sends are buffered and complete
 /// immediately; receives complete when a matching message arrives.
@@ -53,7 +95,9 @@ class Rank {
   /// Nonblocking send (buffered, completes immediately; kept for API
   /// parity with the CAM communication code).
   Request isend(int dst, int tag, std::span<const double> data);
-  /// Blocking receive into \p out (must match the sent length).
+  /// Blocking receive into \p out. Throws CommFault when the matching
+  /// message's payload length differs from the \p out span (never copies
+  /// out of bounds or truncates silently).
   void recv(int src, int tag, std::span<double> out);
   /// Nonblocking receive; complete it with wait().
   Request irecv(int src, int tag, std::span<double> out);
@@ -86,6 +130,17 @@ class Cluster {
 
   int size() const { return nranks_; }
 
+  /// Inject message faults per \p plan (nullptr detaches). The plan's
+  /// kMsg* specs fire on the Nth send of the matching source rank.
+  void set_fault_plan(sw::FaultPlan* plan) { faults_ = plan; }
+  sw::FaultPlan* fault_plan() const { return faults_; }
+
+  /// Bound every blocking receive and collective wait by \p seconds
+  /// (<= 0 disables, the default): a rank blocked longer throws
+  /// CommTimeout naming itself, the awaited source and the tag.
+  void set_watchdog(double seconds) { watchdog_seconds_ = seconds; }
+  double watchdog() const { return watchdog_seconds_; }
+
   /// Execute \p fn as every rank, in parallel, and join.
   void run(const std::function<void(Rank&)>& fn);
 
@@ -108,6 +163,9 @@ class Cluster {
 
   void deposit(int dst, Message msg);
   Message retrieve(int self, int src, int tag);
+  /// Mark the cluster failed and wake every blocked rank so no peer of a
+  /// dead rank waits forever.
+  void abort_peers();
 
   // Barrier / reduction rendezvous state.
   std::mutex coll_mu_;
@@ -116,6 +174,10 @@ class Cluster {
   std::uint64_t coll_generation_ = 0;
   double coll_acc_ = 0.0;
   double coll_result_ = 0.0;
+
+  sw::FaultPlan* faults_ = nullptr;
+  double watchdog_seconds_ = 0.0;
+  std::atomic<bool> aborted_{false};
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -11,6 +11,31 @@ constexpr double kDmaBlockCycles = 8.0;
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Cpe: fault hooks
+// ---------------------------------------------------------------------------
+
+bool Cpe::dma_fault_corrupts(std::size_t bytes) {
+  FaultPlan* fp = cg_->active_faults_;
+  if (fp == nullptr) return false;
+  const auto f = fp->on_dma_op(id_);
+  if (!f) return false;
+  fp->note_fired(*f, bytes);
+  if (f->kind == FaultKind::kDmaCorrupt) return true;
+  throw KernelFault(f->kind, id_, f->op_index, bytes);
+}
+
+void Cpe::apply_corruption(void* dst, std::size_t bytes) {
+  const std::size_t nwords = bytes / sizeof(std::uint64_t);
+  if (nwords == 0) return;
+  const auto [idx, mask] = cg_->active_faults_->next_corruption(nwords);
+  std::uint64_t word;
+  auto* p = static_cast<std::byte*>(dst) + idx * sizeof(std::uint64_t);
+  std::memcpy(&word, p, sizeof(word));
+  word ^= mask;
+  std::memcpy(p, &word, sizeof(word));
+}
+
+// ---------------------------------------------------------------------------
 // Cpe: DMA
 // ---------------------------------------------------------------------------
 
@@ -30,7 +55,9 @@ double CoreGroup::dma_cost(Cpe& cpe, std::size_t bytes,
 
 DmaHandle Cpe::dma_get(void* ldm_dst, const void* mem_src,
                        std::size_t bytes) {
+  const bool corrupt = dma_fault_corrupts(bytes);
   std::memcpy(ldm_dst, mem_src, bytes);
+  if (corrupt) apply_corruption(ldm_dst, bytes);
   ctr_.dma_get_bytes += bytes;
   ctr_.dma_ops += 1;
   note_ldm_peak();
@@ -39,7 +66,9 @@ DmaHandle Cpe::dma_get(void* ldm_dst, const void* mem_src,
 
 DmaHandle Cpe::dma_put(void* mem_dst, const void* ldm_src,
                        std::size_t bytes) {
+  const bool corrupt = dma_fault_corrupts(bytes);
   std::memcpy(mem_dst, ldm_src, bytes);
+  if (corrupt) apply_corruption(mem_dst, bytes);
   ctr_.dma_put_bytes += bytes;
   ctr_.dma_ops += 1;
   return DmaHandle{cg_->dma_cost(*this, bytes, 1)};
@@ -48,6 +77,7 @@ DmaHandle Cpe::dma_put(void* mem_dst, const void* ldm_src,
 DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
                                std::size_t block_bytes, std::size_t count,
                                std::size_t src_stride_bytes) {
+  const bool corrupt = dma_fault_corrupts(block_bytes * count);
   auto* dst = static_cast<std::byte*>(ldm_dst);
   const auto* src = static_cast<const std::byte*>(mem_src);
   for (std::size_t i = 0; i < count; ++i) {
@@ -55,6 +85,7 @@ DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
                 block_bytes);
   }
   const std::size_t bytes = block_bytes * count;
+  if (corrupt) apply_corruption(ldm_dst, bytes);
   ctr_.dma_get_bytes += bytes;
   ctr_.dma_ops += 1;
   note_ldm_peak();
@@ -64,6 +95,7 @@ DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
 DmaHandle Cpe::dma_put_strided(void* mem_dst, const void* ldm_src,
                                std::size_t block_bytes, std::size_t count,
                                std::size_t dst_stride_bytes) {
+  const bool corrupt = dma_fault_corrupts(block_bytes * count);
   auto* dst = static_cast<std::byte*>(mem_dst);
   const auto* src = static_cast<const std::byte*>(ldm_src);
   for (std::size_t i = 0; i < count; ++i) {
@@ -71,6 +103,9 @@ DmaHandle Cpe::dma_put_strided(void* mem_dst, const void* ldm_src,
                 block_bytes);
   }
   const std::size_t bytes = block_bytes * count;
+  // Corrupt within the first scattered block (the strided destination is
+  // not contiguous).
+  if (corrupt) apply_corruption(dst, block_bytes);
   ctr_.dma_put_bytes += bytes;
   ctr_.dma_ops += 1;
   return DmaHandle{cg_->dma_cost(*this, bytes, count)};
@@ -105,8 +140,20 @@ void Cpe::SendAwaiter::await_resume() {
   // fresh sender interleave; per-source ordering (what the hardware
   // guarantees) is preserved because each source is sequential.
   self.clock_ += kRegCommSendCycles;
-  fifo.q.push_back(detail::RegFifo::Msg{payload, self.clock_, self.id_});
   self.ctr_.reg_sends += 1;
+  if (FaultPlan* fp = self.cg_->active_faults_) {
+    if (const auto f = fp->on_reg_send(self.id_)) {
+      fp->note_fired(*f, kVectorBytes);
+      if (f->kind == FaultKind::kCpeDeath) {
+        throw KernelFault(FaultKind::kCpeDeath, self.id_, f->op_index,
+                          kVectorBytes);
+      }
+      // Dropped on the mesh: the sender paid its cycles, nothing arrives.
+      self.cg_->dropped_reg_.push_back({self.id_, f->op_index});
+      return;
+    }
+  }
+  fifo.q.push_back(detail::RegFifo::Msg{payload, self.clock_, self.id_});
   if (!fifo.recv_waiters.empty()) {
     auto h = fifo.recv_waiters.back();
     fifo.recv_waiters.pop_back();
@@ -161,6 +208,14 @@ void Cpe::YieldAwaiter::await_suspend(std::coroutine_handle<> h) {
 // CoreGroup
 // ---------------------------------------------------------------------------
 
+void CoreGroup::purge_ldm() {
+  for (Cpe& c : cpes_) {
+    c.ldm_.reset();
+    c.ldm_.reset_peak();
+    c.ledger_.clear();
+  }
+}
+
 CoreGroup::CoreGroup()
     : cpes_(kCpesPerGroup),
       row_fifos_(kCpesPerGroup),
@@ -189,6 +244,8 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
   assert(ncpes >= 1 && ncpes <= kCpesPerGroup);
 
   // Reset chip state for a fresh kernel launch.
+  active_faults_ = opts.faults != nullptr ? opts.faults : default_faults_;
+  dropped_reg_.clear();
   mc_busy_total_ = 0.0;
   barrier_waiting_ = 0;
   barrier_population_ = ncpes;
@@ -239,6 +296,12 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
     if (!t.done()) ++blocked;
   }
   if (blocked > 0) {
+    // A receiver starved by an injected message drop is an injected
+    // fault, not a kernel bug: surface it as the typed KernelFault.
+    if (!dropped_reg_.empty()) {
+      throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
+                        dropped_reg_.front().op_index, kVectorBytes);
+    }
     throw SchedulerDeadlock(
         "core-group deadlock: " + std::to_string(blocked) + " of " +
         std::to_string(ncpes) +
@@ -246,11 +309,19 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
   }
   for (const auto& f : row_fifos_) {
     if (!f.empty()) {
+      if (!dropped_reg_.empty()) {
+        throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
+                          dropped_reg_.front().op_index, kVectorBytes);
+      }
       throw std::logic_error("unconsumed row register message at kernel end");
     }
   }
   for (const auto& f : col_fifos_) {
     if (!f.empty()) {
+      if (!dropped_reg_.empty()) {
+        throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
+                          dropped_reg_.front().op_index, kVectorBytes);
+      }
       throw std::logic_error("unconsumed col register message at kernel end");
     }
   }

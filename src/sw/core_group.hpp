@@ -10,6 +10,7 @@
 
 #include "sw/config.hpp"
 #include "sw/counters.hpp"
+#include "sw/fault.hpp"
 #include "sw/ldm.hpp"
 #include "sw/residency.hpp"
 #include "sw/task.hpp"
@@ -166,6 +167,13 @@ class Cpe {
  private:
   friend class CoreGroup;
 
+  /// Consult the active fault plan for this DMA descriptor. Throws
+  /// KernelFault for kDmaFail/kCpeDeath; returns true when the transfer
+  /// must complete with corrupted payload.
+  bool dma_fault_corrupts(std::size_t bytes);
+  /// Flip one seed-chosen 8-byte word inside [dst, dst+bytes).
+  void apply_corruption(void* dst, std::size_t bytes);
+
   void note_ldm_peak() {
     ctr_.ldm_peak_bytes = std::max<std::uint64_t>(ctr_.ldm_peak_bytes,
                                                   ldm_.peak());
@@ -197,6 +205,10 @@ struct RunOptions {
   /// kernel launches. The LDM peak is re-based to the preserved mark so
   /// per-launch peaks remain meaningful.
   bool preserve_ldm = false;
+  /// Fault-injection schedule consulted on every DMA descriptor and
+  /// register-communication send of this launch (nullptr: use the plan
+  /// installed with CoreGroup::set_fault_plan, if any).
+  FaultPlan* faults = nullptr;
 };
 
 class CoreGroup {
@@ -214,6 +226,17 @@ class CoreGroup {
                   const RunOptions& opts);
 
   Cpe& cpe(int id) { return cpes_[static_cast<std::size_t>(id)]; }
+
+  /// Install a default fault plan for subsequent launches (nullptr
+  /// detaches). RunOptions::faults overrides it per launch.
+  void set_fault_plan(FaultPlan* plan) { default_faults_ = plan; }
+  FaultPlan* fault_plan() const { return default_faults_; }
+
+  /// Hard-reset every CPE's LDM and residency ledger. A faulted launch
+  /// abandons its coroutines mid-flight, so persistent-LDM state (pinned
+  /// entries, allocation marks) may dangle into freed host buffers; the
+  /// degradation path purges it before the next launch.
+  void purge_ldm();
 
  private:
   friend class Cpe;
@@ -239,6 +262,17 @@ class CoreGroup {
   std::vector<Cpe> cpes_;
   std::vector<detail::RegFifo> row_fifos_;
   std::vector<detail::RegFifo> col_fifos_;
+
+  // Fault injection: plan active for the current launch, plus the
+  // register messages it swallowed (a drop that starves a receiver turns
+  // the scheduler's deadlock report into a typed KernelFault).
+  FaultPlan* default_faults_ = nullptr;
+  FaultPlan* active_faults_ = nullptr;
+  struct DroppedReg {
+    int cpe;
+    int op_index;
+  };
+  std::vector<DroppedReg> dropped_reg_;
 
   // Barrier state.
   int barrier_waiting_ = 0;

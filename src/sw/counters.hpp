@@ -29,6 +29,9 @@ struct CpeCounters {
   /// Bytes the pipeline's lease/flush path actually moved over the bus
   /// (subset of dma_get_bytes + dma_put_bytes attributable to staging).
   std::uint64_t dma_cold_bytes = 0;
+  /// Launches the accelerator driver discarded after a fault and re-ran
+  /// on the host reference path (graceful degradation; see accel_driver).
+  std::uint64_t host_fallbacks = 0;
 
   CpeCounters& operator+=(const CpeCounters& o) {
     scalar_flops += o.scalar_flops;
@@ -41,6 +44,7 @@ struct CpeCounters {
     if (o.ldm_peak_bytes > ldm_peak_bytes) ldm_peak_bytes = o.ldm_peak_bytes;
     dma_reused_bytes += o.dma_reused_bytes;
     dma_cold_bytes += o.dma_cold_bytes;
+    host_fallbacks += o.host_fallbacks;
     return *this;
   }
 
@@ -63,6 +67,7 @@ inline CpeCounters counters_delta(const CpeCounters& after,
   d.ldm_peak_bytes = after.ldm_peak_bytes;
   d.dma_reused_bytes = after.dma_reused_bytes - before.dma_reused_bytes;
   d.dma_cold_bytes = after.dma_cold_bytes - before.dma_cold_bytes;
+  d.host_fallbacks = after.host_fallbacks - before.host_fallbacks;
   return d;
 }
 

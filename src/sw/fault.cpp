@@ -1,0 +1,126 @@
+#include "sw/fault.hpp"
+
+namespace sw {
+
+namespace {
+
+/// splitmix64: the standard seed-expansion mix, deterministic and cheap.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDmaFail: return "dma-fail";
+    case FaultKind::kDmaCorrupt: return "dma-corrupt";
+    case FaultKind::kRegDrop: return "regcomm-drop";
+    case FaultKind::kCpeDeath: return "cpe-death";
+    case FaultKind::kMsgDrop: return "msg-drop";
+    case FaultKind::kMsgDuplicate: return "msg-duplicate";
+    case FaultKind::kMsgTruncate: return "msg-truncate";
+  }
+  return "unknown-fault";
+}
+
+KernelFault::KernelFault(FaultKind kind, int cpe, int op_index,
+                         std::size_t bytes)
+    : std::runtime_error("injected " + std::string(to_string(kind)) +
+                         " on CPE " + std::to_string(cpe) + " (op " +
+                         std::to_string(op_index) + ", " +
+                         std::to_string(bytes) + " bytes)"),
+      kind_(kind),
+      cpe_(cpe),
+      op_index_(op_index),
+      bytes_(bytes) {}
+
+FaultPlan& FaultPlan::inject(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(Armed{spec, false});
+  return *this;
+}
+
+std::optional<FaultSpec> FaultPlan::match_locked(
+    std::initializer_list<FaultKind> kinds, int target, int idx) {
+  for (Armed& a : specs_) {
+    if (a.consumed) continue;
+    bool kind_ok = false;
+    for (FaultKind k : kinds) kind_ok = kind_ok || a.spec.kind == k;
+    if (!kind_ok) continue;
+    if (a.spec.target != -1 && a.spec.target != target) continue;
+    if (a.spec.op_index != idx) continue;
+    a.consumed = true;
+    FaultSpec out = a.spec;
+    out.target = target;
+    out.op_index = idx;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultSpec> FaultPlan::on_dma_op(int cpe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int point = point_count_[cpe]++;
+  if (auto f = match_locked({FaultKind::kCpeDeath}, cpe, point)) return f;
+  const int idx = dma_count_[cpe]++;
+  return match_locked({FaultKind::kDmaFail, FaultKind::kDmaCorrupt}, cpe, idx);
+}
+
+std::optional<FaultSpec> FaultPlan::on_reg_send(int cpe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int point = point_count_[cpe]++;
+  if (auto f = match_locked({FaultKind::kCpeDeath}, cpe, point)) return f;
+  const int idx = reg_count_[cpe]++;
+  return match_locked({FaultKind::kRegDrop}, cpe, idx);
+}
+
+std::optional<FaultSpec> FaultPlan::on_message(int src_rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int idx = msg_count_[src_rank]++;
+  return match_locked({FaultKind::kMsgDrop, FaultKind::kMsgDuplicate,
+                       FaultKind::kMsgTruncate},
+                      src_rank, idx);
+}
+
+std::pair<std::size_t, std::uint64_t> FaultPlan::next_corruption(
+    std::size_t nwords) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t n = corruption_events_++;
+  const std::uint64_t h1 = mix64(seed_ ^ (2 * n));
+  std::uint64_t mask = mix64(seed_ ^ (2 * n + 1));
+  if (mask == 0) mask = 1;  // xor with 0 would be a silent no-op
+  const std::size_t idx = nwords > 0 ? static_cast<std::size_t>(h1 % nwords) : 0;
+  return {idx, mask};
+}
+
+void FaultPlan::note_fired(const FaultSpec& spec, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fired_.push_back(Fired{spec.kind, spec.target, spec.op_index, bytes});
+}
+
+std::vector<FaultPlan::Fired> FaultPlan::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::size_t FaultPlan::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_.size();
+}
+
+void FaultPlan::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Armed& a : specs_) a.consumed = false;
+  dma_count_.clear();
+  reg_count_.clear();
+  point_count_.clear();
+  msg_count_.clear();
+  fired_.clear();
+  corruption_events_ = 0;
+}
+
+}  // namespace sw

@@ -1,0 +1,372 @@
+// Resilience layer, recovery side: versioned checkpoints with per-field
+// CRCs must round-trip bit-identically (in memory and on disk), reject
+// corruption / version skew / config mismatch with typed errors, let a
+// killed multi-rank run restart bit-identically, and — through the
+// StateMonitor + ResilientRunner — roll a poisoned run back to the last
+// checkpoint and redo the faulty steps on the host path.
+
+#include "homme/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "homme/driver.hpp"
+#include "homme/init.hpp"
+#include "homme/parallel_driver.hpp"
+
+namespace {
+
+using homme::CheckpointError;
+using homme::CheckpointInfo;
+using homme::Dims;
+using homme::State;
+
+Dims small_dims() {
+  Dims d;
+  d.nlev = 4;
+  d.qsize = 2;
+  return d;
+}
+
+bool states_bitwise_equal(const State& a, const State& b) {
+  auto eq = [](const std::vector<double>& x, const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+  };
+  if (a.size() != b.size()) return false;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    if (!eq(a[e].u1, b[e].u1) || !eq(a[e].u2, b[e].u2) ||
+        !eq(a[e].T, b[e].T) || !eq(a[e].dp, b[e].dp) ||
+        !eq(a[e].qdp, b[e].qdp) || !eq(a[e].phis, b[e].phis)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CheckpointInfo make_info(const Dims& d, const State& s) {
+  CheckpointInfo info;
+  info.nelem = s.size();
+  info.dims = d;
+  info.config.dt = 12.5;
+  info.config.nu = 1.0e15;
+  info.config.remap_freq = 3;
+  info.step_count = 17;
+  info.rng_seed = 0xDEADBEEFull;
+  return info;
+}
+
+TEST(Checkpoint, SerializeDeserializeRoundTripsBitIdentically) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+
+  const auto image = serialize_checkpoint(make_info(d, s), s);
+  State restored;
+  const CheckpointInfo info = deserialize_checkpoint(image, restored);
+
+  EXPECT_TRUE(states_bitwise_equal(s, restored));
+  EXPECT_EQ(info.nelem, s.size());
+  EXPECT_EQ(info.dims.nlev, d.nlev);
+  EXPECT_EQ(info.dims.qsize, d.qsize);
+  EXPECT_EQ(info.step_count, 17);
+  EXPECT_EQ(info.rng_seed, 0xDEADBEEFull);
+  EXPECT_DOUBLE_EQ(info.config.dt, 12.5);
+  EXPECT_EQ(info.config.remap_freq, 3);
+}
+
+TEST(Checkpoint, FlippedPayloadByteFailsItsFieldCrc) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+
+  auto image = serialize_checkpoint(make_info(d, s), s);
+  image[image.size() / 2] ^= 0x40;  // one bit, deep inside the records
+  State restored;
+  try {
+    deserialize_checkpoint(image, restored);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, UnsupportedVersionIsRejectedByName) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+
+  auto image = serialize_checkpoint(make_info(d, s), s);
+  // Version is checked before the header CRC, so a patched version must
+  // produce "unsupported version", not a checksum complaint.
+  image[homme::kCheckpointVersionOffset] += 1;
+  State restored;
+  try {
+    deserialize_checkpoint(image, restored);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, BadMagicAndTruncationAreRejected) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  auto image = serialize_checkpoint(make_info(d, s), s);
+
+  auto bad = image;
+  bad[0] ^= 0xFF;
+  State restored;
+  EXPECT_THROW(deserialize_checkpoint(bad, restored), CheckpointError);
+
+  auto cut = image;
+  cut.resize(cut.size() - 7);
+  EXPECT_THROW(deserialize_checkpoint(cut, restored), CheckpointError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+
+  const std::string path = ::testing::TempDir() + "swck_file_roundtrip.ck";
+  save_checkpoint(path, make_info(d, s), s);
+  State restored;
+  const CheckpointInfo info = load_checkpoint(path, restored);
+  EXPECT_TRUE(states_bitwise_equal(s, restored));
+  EXPECT_EQ(info.step_count, 17);
+
+  EXPECT_THROW(load_checkpoint(path + ".missing", restored), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// StateMonitor
+// ---------------------------------------------------------------------------
+
+TEST(StateMonitor, HealthyStatePasses) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::StateMonitor mon(d);
+  EXPECT_FALSE(mon.check(s).has_value());
+}
+
+TEST(StateMonitor, FlagsNaNWithFieldAndLocation) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  s[3].T[homme::fidx(2, 5)] = std::numeric_limits<double>::quiet_NaN();
+  homme::StateMonitor mon(d);
+  const auto v = mon.check(s);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("non-finite T"), std::string::npos);
+  EXPECT_NE(v->find("element 3"), std::string::npos);
+}
+
+TEST(StateMonitor, FlagsNegativeLayerMassAndPressureBounds) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::StateMonitor mon(d);
+
+  State bad_dp = s;
+  bad_dp[0].dp[homme::fidx(1, 0)] = -5.0;
+  auto v = mon.check(bad_dp);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("non-positive layer mass"), std::string::npos);
+
+  State heavy = s;
+  for (int lev = 0; lev < d.nlev; ++lev) {
+    heavy[1].dp[homme::fidx(lev, 2)] *= 10.0;
+  }
+  v = mon.check(heavy);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("surface pressure"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Collective save/restore and restart
+// ---------------------------------------------------------------------------
+
+struct ParallelFixture {
+  mesh::CubedSphere mesh = mesh::CubedSphere::build(3, mesh::kEarthRadius);
+  Dims d = small_dims();
+  mesh::Partition part;
+  mesh::CommPlan plan;
+  State initial;
+
+  explicit ParallelFixture(int nranks)
+      : part(mesh::Partition::build(mesh, nranks)),
+        plan(mesh::CommPlan::build(mesh, part)) {
+    initial = homme::baroclinic(mesh, d, 25.0, 295.0, 4.0);
+    homme::init_tracers(mesh, d, initial);
+  }
+};
+
+TEST(CheckpointRestart, KillAtStepKThenRestartIsBitIdentical) {
+  const int nranks = 4;
+  ParallelFixture fx(nranks);
+  const std::string base = ::testing::TempDir() + "swck_restart.ck";
+  std::mutex mu;
+
+  // Reference: 6 uninterrupted steps.
+  State straight = fx.initial;
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      State local = pd.gather_local(fx.initial);
+      for (int s = 0; s < 6; ++s) pd.step(r, local);
+      std::lock_guard<std::mutex> lock(mu);
+      pd.scatter_local(local, straight);
+    });
+  }
+
+  // Run 3 steps, checkpoint, and "die" (the process state is discarded).
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      State local = pd.gather_local(fx.initial);
+      for (int s = 0; s < 3; ++s) pd.step(r, local);
+      pd.save(r, local, base, /*rng_seed=*/99);
+    });
+  }
+
+  // Restart from the files alone and finish the remaining 3 steps.
+  State restarted = fx.initial;
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      State local;
+      pd.restore(r, local, base);
+      EXPECT_EQ(pd.step_count(), 3);
+      for (int s = 0; s < 3; ++s) pd.step(r, local);
+      std::lock_guard<std::mutex> lock(mu);
+      pd.scatter_local(local, restarted);
+    });
+  }
+
+  EXPECT_TRUE(states_bitwise_equal(straight, restarted));
+}
+
+TEST(CheckpointRestart, ConfigMismatchOnRestoreIsATypedError) {
+  const int nranks = 2;
+  ParallelFixture fx(nranks);
+  const std::string base = ::testing::TempDir() + "swck_cfg_mismatch.ck";
+
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      State local = pd.gather_local(fx.initial);
+      pd.save(r, local, base);
+    });
+  }
+
+  net::Cluster cluster(nranks);
+  homme::DycoreConfig other;
+  other.remap_freq = 5;
+  EXPECT_THROW(cluster.run([&](net::Rank& r) {
+    homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d, other,
+                             r.rank());
+    State local;
+    pd.restore(r, local, base);
+  }),
+               CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Rollback
+// ---------------------------------------------------------------------------
+
+/// An accelerator gone bad: every offloaded remap poisons the state. The
+/// monitor must catch it and the runner must redo the step on the host.
+struct PoisoningAccel final : homme::StepAccelerator {
+  void vertical_remap(State& s) override {
+    if (!s.empty()) {
+      s[0].T[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+};
+
+TEST(ResilientRunner, RollsBackPoisonedStepsAndMatchesHostRun) {
+  const int nranks = 4;
+  ParallelFixture fx(nranks);
+  const std::string base = ::testing::TempDir() + "swck_rollback.ck";
+  std::mutex mu;
+
+  // Reference: 6 steps, never accelerated.
+  State host_run = fx.initial;
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      State local = pd.gather_local(fx.initial);
+      for (int s = 0; s < 6; ++s) pd.step(r, local);
+      std::lock_guard<std::mutex> lock(mu);
+      pd.scatter_local(local, host_run);
+    });
+  }
+
+  // Resilient run with the poisoning accelerator attached. remap_freq is
+  // 3, so steps 3 and 6 offload (and get poisoned): two rollbacks, each
+  // redoing exactly one step on the host path.
+  State guarded = fx.initial;
+  homme::ResilienceStats stats;
+  {
+    net::Cluster cluster(nranks);
+    cluster.run([&](net::Rank& r) {
+      homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                               homme::DycoreConfig{}, r.rank());
+      PoisoningAccel bad;
+      pd.attach_accelerator(&bad);
+      homme::ResilientRunner runner(pd, base, /*checkpoint_freq=*/1);
+      State local = pd.gather_local(fx.initial);
+      runner.run(r, local, 6);
+      EXPECT_EQ(pd.accelerator(), &bad) << "accelerator must be reattached";
+      std::lock_guard<std::mutex> lock(mu);
+      pd.scatter_local(local, guarded);
+      if (r.rank() == 0) stats = runner.stats();
+    });
+  }
+
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_EQ(stats.host_redo_steps, 2);
+  EXPECT_GE(stats.checkpoints, 5);
+  EXPECT_TRUE(states_bitwise_equal(host_run, guarded));
+}
+
+TEST(ResilientRunner, PersistentViolationIsRethrownNotLooped) {
+  const int nranks = 2;
+  ParallelFixture fx(nranks);
+  const std::string base = ::testing::TempDir() + "swck_persistent.ck";
+
+  net::Cluster cluster(nranks);
+  EXPECT_THROW(cluster.run([&](net::Rank& r) {
+    homme::ParallelDycore pd(fx.mesh, fx.part, fx.plan, fx.d,
+                             homme::DycoreConfig{}, r.rank());
+    homme::ResilientRunner runner(pd, base, /*checkpoint_freq=*/1);
+    // Bounds no real atmosphere can satisfy: the violation survives the
+    // host-path redo, so the runner must give up rather than loop.
+    runner.monitor().ps_max = 1.0;
+    State local = pd.gather_local(fx.initial);
+    runner.run(r, local, 2);
+  }),
+               CheckpointError);
+}
+
+}  // namespace
