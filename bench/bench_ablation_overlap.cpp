@@ -3,16 +3,92 @@
 // to 23% in large runs, and (b) removes the pack-buffer staging copies,
 // another ~30%. Functional copy counters come from the real distributed
 // implementation; machine-scale time deltas from the analytic model.
+//
+// Flags: --trace <path> captures a Chrome trace of one full distributed
+// dycore step in each mode on 2 ranks — side by side in one file via the
+// tracer pid offsets. The overlap mode is the only one that shows
+// bndry:inner_compute (interior work running while the sends posted in
+// bndry:post_send are in flight); the original mode instead serializes
+// bndry:compute before bndry:send. --json <path> dumps the per-phase
+// comm-share attribution read off the same traces.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 #include "homme/bndry.hpp"
+#include "homme/init.hpp"
+#include "homme/parallel_driver.hpp"
+#include "obs/report.hpp"
 #include "perf/machine_model.hpp"
 
 namespace {
+
+/// Wall-domain tracers for the two traced runs; labels / pid offsets keep
+/// the modes apart when merged into one exported file.
+obs::Tracer g_trace_original(obs::ClockDomain::kWall);
+obs::Tracer g_trace_overlap(obs::ClockDomain::kWall);
+
+struct ModeAttribution {
+  const char* mode;
+  double step_us = 0.0;          ///< summed dyn:step over both ranks
+  double wait_us = 0.0;          ///< bndry:wait_unpack (recv + unpack)
+  double send_us = 0.0;          ///< bndry:send or bndry:post_send
+  double inner_us = 0.0;         ///< bndry:inner_compute (overlap only)
+  std::uint64_t inner_count = 0; ///< 0 in the original mode by design
+  double comm_share = 0.0;       ///< (wait+send) / step
+};
+
+/// One full distributed dycore step on 2 ranks with every layer reporting
+/// into \p tracer, then the section 7.6 attribution off its summary.
+ModeAttribution run_traced_step(obs::Tracer& tracer, const char* label,
+                                int pid_offset,
+                                homme::BndryExchange::Mode mode) {
+  tracer.set_label(label);
+  tracer.set_pid_offset(pid_offset);
+  tracer.enable();
+
+  auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  auto part = mesh::Partition::build(m, 2);
+  auto plan = mesh::CommPlan::build(m, part);
+  homme::Dims d;
+  d.nlev = 8;
+  d.qsize = 2;
+  homme::DycoreConfig cfg;
+  cfg.remap_freq = 1;  // exercise dyn:remap in the single traced step
+  homme::State global = homme::baroclinic(m, d);
+  homme::init_tracers(m, d, global);
+
+  net::Cluster cluster(2);
+  cluster.set_tracer(&tracer);
+  cluster.run([&](net::Rank& r) {
+    homme::ParallelDycore pd(m, part, plan, d, cfg, r.rank(), mode);
+    pd.set_tracer(&tracer);
+    homme::State local = pd.gather_local(global);
+    pd.step(r, local);
+  });
+
+  const obs::Summary sum = tracer.summary();
+  ModeAttribution a;
+  a.mode = label;
+  a.step_us = obs::phase_total_us(sum, "dyn:step");
+  a.wait_us = obs::phase_total_us(sum, "bndry:wait_unpack");
+  a.send_us = obs::phase_total_us(sum, "bndry:send") +
+              obs::phase_total_us(sum, "bndry:post_send");
+  a.inner_us = obs::phase_total_us(sum, "bndry:inner_compute");
+  a.inner_count = obs::phase_count(sum, "bndry:inner_compute");
+  if (a.step_us > 0.0) a.comm_share = (a.wait_us + a.send_us) / a.step_us;
+  return a;
+}
+
+void print_attribution(const ModeAttribution& a) {
+  std::printf("%-10s %12.0f %12.0f %12.0f %12.0f %6llu %9.1f%%\n", a.mode,
+              a.step_us, a.wait_us, a.send_us, a.inner_us,
+              static_cast<unsigned long long>(a.inner_count),
+              100.0 * a.comm_share);
+}
 
 void print_copy_ablation() {
   auto m = mesh::CubedSphere::build(4, mesh::kEarthRadius);
@@ -105,8 +181,45 @@ BENCHMARK(BM_DssExchange)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
   print_copy_ablation();
   print_overlap_ablation();
+
+  const ModeAttribution orig = run_traced_step(
+      g_trace_original, "original", 0, homme::BndryExchange::Mode::kOriginal);
+  const ModeAttribution over = run_traced_step(
+      g_trace_overlap, "overlap", 1000, homme::BndryExchange::Mode::kOverlap);
+  std::printf("=== Traced step (2 ranks, ne2, 8 levels): section 7.6 "
+              "comm-share attribution ===\n");
+  std::printf("%-10s %12s %12s %12s %12s %6s %10s\n", "mode", "step us",
+              "wait us", "send us", "inner us", "#inner", "comm");
+  print_attribution(orig);
+  print_attribution(over);
+  std::printf("(bndry:inner_compute exists only in the overlap redesign: it "
+              "is the interior work running while sends are in flight)\n\n");
+
+  if (!cli.json_path.empty()) {
+    obs::Report rep("ablation_overlap");
+    rep.config().set("ranks", 2).set("mesh_ne", 2).set("nlev", 8).set(
+        "qsize", 2);
+    obs::Json& modes = rep.root().arr("modes");
+    for (const auto* a : {&orig, &over}) {
+      modes.push()
+          .set("mode", a->mode)
+          .set("step_us", a->step_us)
+          .set("wait_unpack_us", a->wait_us)
+          .set("send_us", a->send_us)
+          .set("inner_compute_us", a->inner_us)
+          .set("inner_compute_count", a->inner_count)
+          .set("comm_share", a->comm_share);
+    }
+    if (!rep.write(cli.json_path)) return 1;
+  }
+  if (!cli.trace_path.empty()) {
+    obs::Tracer* tracers[] = {&g_trace_original, &g_trace_overlap};
+    if (!obs::write_chrome_trace(cli.trace_path, tracers)) return 1;
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,10 +4,14 @@
 // (ne30/5400/athread = 21.5 SYPD, ne120/28800/openacc = 3.4 SYPD);
 // everything else is the model's prediction.
 
+// Pass --json <path> for a machine-readable record of every plotted point.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "obs/report.hpp"
 #include "perf/machine_model.hpp"
 
 namespace {
@@ -15,6 +19,31 @@ namespace {
 const perf::MachineModel& model() {
   static const auto m = perf::MachineModel::calibrate(128, 25, 32);
   return m;
+}
+
+bool write_json(const std::string& path) {
+  const auto& m = model();
+  obs::Report rep("fig6_sypd");
+  rep.config().set("nlev", 128).set("qsize", 25).set("physics_columns", 32);
+  obs::Json& records = rep.root().arr("records");
+  for (long long p : {216LL, 600LL, 900LL, 1350LL, 5400LL}) {
+    for (auto v : {perf::Version::kOriginal, perf::Version::kOpenAcc,
+                   perf::Version::kAthread}) {
+      records.push()
+          .set("ne", 30)
+          .set("procs", static_cast<std::int64_t>(p))
+          .set("version", perf::to_string(v))
+          .set("sypd", m.sypd(30, p, v));
+    }
+  }
+  for (long long p : {2400LL, 9600LL, 14400LL, 21600LL, 24000LL, 28800LL}) {
+    records.push()
+        .set("ne", 120)
+        .set("procs", static_cast<std::int64_t>(p))
+        .set("version", perf::to_string(perf::Version::kOpenAcc))
+        .set("sypd", m.sypd(120, p, perf::Version::kOpenAcc));
+  }
+  return rep.write(path);
 }
 
 void print_figure() {
@@ -57,7 +86,9 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
   print_figure();
+  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

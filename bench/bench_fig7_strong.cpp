@@ -2,10 +2,14 @@
 // ne256 (393,216 elements) and ne1024 (6,291,456 elements) from 4,096 /
 // 8,192 processes up to 131,072 (266,240 to 8,519,680 cores).
 
+// Pass --json <path> for a machine-readable record of every plotted point.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "obs/report.hpp"
 #include "perf/machine_model.hpp"
 
 namespace {
@@ -13,6 +17,26 @@ namespace {
 const perf::MachineModel& model() {
   static const auto m = perf::MachineModel::calibrate(128, 25, 32);
   return m;
+}
+
+bool write_json(const std::string& path) {
+  const auto& m = model();
+  obs::Report rep("fig7_strong");
+  rep.config().set("nlev", 128).set("qsize", 25).set("version", "athread");
+  obs::Json& records = rep.root().arr("records");
+  for (auto [ne, base] : {std::pair{256, 4096LL}, std::pair{1024, 8192LL}}) {
+    for (long long p = base; p <= 131072; p *= 2) {
+      const auto s = m.dycore_step(ne, p, perf::Version::kAthread);
+      records.push()
+          .set("ne", ne)
+          .set("procs", static_cast<std::int64_t>(p))
+          .set("step_s", s.total_s)
+          .set("pflops", s.pflops)
+          .set("parallel_efficiency",
+               m.parallel_efficiency(ne, base, p, perf::Version::kAthread));
+    }
+  }
+  return rep.write(path);
 }
 
 void print_figure() {
@@ -55,7 +79,9 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
   print_figure();
+  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

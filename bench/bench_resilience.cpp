@@ -7,7 +7,10 @@
 // checkpointing and fallback run on the MPE/host, not on the modeled CPE
 // cluster.
 //
-// Pass --json <path> to dump the numbers as machine-readable JSON.
+// Pass --json <path> to dump the numbers as machine-readable JSON (via
+// obs::Report, including the per-phase obs:: summary with the counted
+// accel:host_fallback / cg:fault events), --trace <path> for the Chrome
+// trace-event timeline of the offloaded and faulted launches.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +23,7 @@
 #include "homme/checkpoint.hpp"
 #include "homme/init.hpp"
 #include "homme/remap.hpp"
+#include "obs/report.hpp"
 #include "sw/fault.hpp"
 
 namespace {
@@ -33,7 +37,16 @@ struct Results {
   double remap_host_s = 0.0;
   double remap_offload_s = 0.0;
   double remap_fallback_s = 0.0;
+  /// Counted obs:: events from the faulted-launch phase: even though the
+  /// runs succeed (the fallback redoes the work), every discarded launch
+  /// surfaces as an accel:host_fallback instant in the summary.
+  std::uint64_t fallback_events = 0;
+  std::uint64_t fault_events = 0;
 };
+
+/// Accumulates the accelerator's obs:: events across the offload and
+/// faulted-launch phases (virtual clock: deterministic, no wall noise).
+obs::Tracer g_tracer(obs::ClockDomain::kVirtual);
 
 constexpr int kMeshNe = 2;
 constexpr int kNlev = 32;
@@ -95,6 +108,8 @@ const Results& results() {
     });
 
     accel::PipelineAccelerator pa(mesh, d);
+    g_tracer.enable();
+    pa.set_tracer(&g_tracer);
     out.remap_offload_s = timed([&] {
       homme::State w = s;
       pa.vertical_remap(w);
@@ -119,6 +134,9 @@ const Results& results() {
                    "back (got %d of %d)\n",
                    pa.fallbacks(), kReps);
     }
+    const obs::Summary sum = g_tracer.summary();
+    out.fallback_events = obs::phase_count(sum, "accel:host_fallback");
+    out.fault_events = obs::phase_count(sum, "cg:fault");
     return out;
   }();
   return r;
@@ -138,52 +156,34 @@ void print_table() {
   std::printf("vertical remap host:   %.3e s\n", r.remap_host_s);
   std::printf("vertical remap accel:  %.3e s (simulator wall time)\n",
               r.remap_offload_s);
-  std::printf("faulted launch + host fallback: %.3e s (%.2fx host remap)\n\n",
+  std::printf("faulted launch + host fallback: %.3e s (%.2fx host remap)\n",
               r.remap_fallback_s, r.remap_fallback_s / r.remap_host_s);
+  std::printf("counted events: %llu host fallbacks, %llu core-group faults "
+              "(runs succeeded anyway)\n\n",
+              static_cast<unsigned long long>(r.fallback_events),
+              static_cast<unsigned long long>(r.fault_events));
 }
 
 bool write_json(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_resilience: cannot open %s for writing\n",
-                 path.c_str());
-    return false;
-  }
   const Results& r = results();
-  std::fprintf(
-      f,
-      "{\n  \"config\": {\"mesh_ne\": %d, \"nlev\": %d, \"qsize\": %d},\n"
-      "  \"checkpoint_bytes\": %zu,\n"
-      "  \"serialize_s\": %.9e,\n"
-      "  \"deserialize_s\": %.9e,\n"
-      "  \"file_save_s\": %.9e,\n"
-      "  \"file_load_s\": %.9e,\n"
-      "  \"remap_host_s\": %.9e,\n"
-      "  \"remap_offload_s\": %.9e,\n"
-      "  \"remap_fallback_s\": %.9e\n}\n",
-      kMeshNe, kNlev, kQsize, r.checkpoint_bytes, r.serialize_s,
-      r.deserialize_s, r.file_save_s, r.file_load_s, r.remap_host_s,
-      r.remap_offload_s, r.remap_fallback_s);
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
-  return true;
-}
-
-std::string extract_json_path(int& argc, char** argv) {
-  std::string path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      path = argv[++i];
-    } else if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
-  return path;
+  obs::Report rep("resilience");
+  rep.config()
+      .set("mesh_ne", kMeshNe)
+      .set("nlev", kNlev)
+      .set("qsize", kQsize);
+  rep.root()
+      .set("checkpoint_bytes", static_cast<std::uint64_t>(r.checkpoint_bytes))
+      .set("serialize_s", r.serialize_s)
+      .set("deserialize_s", r.deserialize_s)
+      .set("file_save_s", r.file_save_s)
+      .set("file_load_s", r.file_load_s)
+      .set("remap_host_s", r.remap_host_s)
+      .set("remap_offload_s", r.remap_offload_s)
+      .set("remap_fallback_s", r.remap_fallback_s)
+      .set("host_fallback_events", r.fallback_events)
+      .set("core_group_fault_events", r.fault_events);
+  rep.add_summary(g_tracer.summary());
+  return rep.write(path);
 }
 
 void register_benchmarks() {
@@ -209,9 +209,13 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = extract_json_path(argc, argv);
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
   print_table();
-  if (!json_path.empty() && !write_json(json_path)) return 1;
+  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
+  if (!cli.trace_path.empty() &&
+      !g_tracer.write_chrome_trace(cli.trace_path)) {
+    return 1;
+  }
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

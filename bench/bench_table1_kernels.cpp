@@ -4,32 +4,36 @@
 // google-benchmark timings use manual time set to the *modeled* seconds
 // from the SW26010 simulator (functional execution + timing model); the
 // printed table compares our ratios against the paper's.
-
-// Pass --json <path> to also dump the per-kernel numbers (seconds per
-// platform, measured flops, DMA traffic split) as machine-readable JSON.
+//
+// Flags (extracted before google-benchmark sees argv):
+//   --json <path>   per-kernel numbers as machine-readable JSON
+//   --trace <path>  Chrome trace-event timeline of every modeled launch
+//                   ("table1/cg" track; open in Perfetto)
+//   --small         reduced problem size (CI smoke: 8 elements, 32 levels)
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <memory>
 #include <string>
 
 #include "accel/table1.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
+accel::Table1Config g_cfg;
+obs::Tracer g_tracer(obs::ClockDomain::kVirtual);
+
 const std::vector<accel::Table1Row>& rows() {
-  static const auto r = [] {
-    accel::Table1Config cfg;  // 64 elements, 128 levels, 25 tracers
-    return accel::run_table1(cfg);
-  }();
+  static const auto r = [] { return accel::run_table1(g_cfg, &g_tracer); }();
   return r;
 }
 
 void print_table() {
   std::printf(
-      "\n=== Table 1: key kernels, seconds per invocation (64 elements / "
-      "process, 128 levels, 25 tracers) ===\n");
+      "\n=== Table 1: key kernels, seconds per invocation (%d elements / "
+      "process, %d levels, %d tracers) ===\n",
+      g_cfg.nelem, g_cfg.nlev, g_cfg.qsize);
   std::printf("%-24s %11s %11s %11s %11s\n", "kernel", "intel", "mpe",
               "openacc", "athread");
   for (const auto& r : rows()) {
@@ -52,57 +56,28 @@ void print_table() {
 }
 
 bool write_json(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_table1_kernels: cannot open %s for writing\n",
-                 path.c_str());
-    return false;
+  obs::Report rep("table1_kernels");
+  rep.config()
+      .set("nelem", g_cfg.nelem)
+      .set("nlev", g_cfg.nlev)
+      .set("qsize", g_cfg.qsize);
+  obs::Json& kernels = rep.root().arr("kernels");
+  for (const auto& r : rows()) {
+    kernels.push()
+        .set("name", r.name)
+        .set("intel_s", r.intel_s)
+        .set("mpe_s", r.mpe_s)
+        .set("openacc_s", r.acc_s)
+        .set("athread_s", r.athread_s)
+        .set("flops", r.flops)
+        .set("openacc_dma_bytes", r.acc_dma_bytes)
+        .set("athread_dma_bytes", r.athread_dma_bytes)
+        .set("athread_dma_reused_bytes", r.athread_dma_reused)
+        .set("athread_dma_cold_bytes", r.athread_dma_cold)
+        .set("athread_fallbacks", r.athread_fallbacks);
   }
-  std::fprintf(f, "{\n  \"config\": {\"nelem\": 64, \"nlev\": 128, "
-                  "\"qsize\": 25},\n  \"kernels\": [\n");
-  const auto& rs = rows();
-  for (std::size_t i = 0; i < rs.size(); ++i) {
-    const auto& r = rs[i];
-    std::fprintf(
-        f,
-        "    {\"name\": \"%s\", \"intel_s\": %.9e, \"mpe_s\": %.9e, "
-        "\"openacc_s\": %.9e, \"athread_s\": %.9e, \"flops\": %llu, "
-        "\"openacc_dma_bytes\": %llu, \"athread_dma_bytes\": %llu, "
-        "\"athread_dma_reused_bytes\": %llu, "
-        "\"athread_dma_cold_bytes\": %llu, "
-        "\"athread_fallbacks\": %llu}%s\n",
-        r.name.c_str(), r.intel_s, r.mpe_s, r.acc_s, r.athread_s,
-        static_cast<unsigned long long>(r.flops),
-        static_cast<unsigned long long>(r.acc_dma_bytes),
-        static_cast<unsigned long long>(r.athread_dma_bytes),
-        static_cast<unsigned long long>(r.athread_dma_reused),
-        static_cast<unsigned long long>(r.athread_dma_cold),
-        static_cast<unsigned long long>(r.athread_fallbacks),
-        i + 1 < rs.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
-  return true;
-}
-
-/// Consume "--json <path>" (or "--json=<path>") from argv so the
-/// remaining flags can go to benchmark::Initialize untouched.
-std::string extract_json_path(int& argc, char** argv) {
-  std::string path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      path = argv[++i];
-    } else if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
-  return path;
+  rep.add_summary(g_tracer.summary());
+  return rep.write(path);
 }
 
 void register_benchmarks() {
@@ -125,9 +100,21 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = extract_json_path(argc, argv);
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
+  if (cli.small) {
+    g_cfg.nelem = 8;
+    g_cfg.nlev = 32;
+    g_cfg.qsize = 4;
+  }
+  // The tracer feeds the counter path either way; only keep the (large)
+  // per-launch timeline when it is actually going to be exported.
+  if (!cli.trace_path.empty() || !cli.json_path.empty()) g_tracer.enable();
   print_table();
-  if (!json_path.empty() && !write_json(json_path)) return 1;
+  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
+  if (!cli.trace_path.empty() &&
+      !g_tracer.write_chrome_trace(cli.trace_path)) {
+    return 1;
+  }
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,11 +5,15 @@
 // composed with the TaihuLight network model, normalized at the HOMME
 // 12.5 km anchor.
 
+// Pass --json <path> for a machine-readable record of every table row.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/nggps.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -18,6 +22,20 @@ const std::vector<baselines::NggpsRow>& rows() {
     return baselines::run_nggps(baselines::measure_dycore_costs());
   }();
   return r;
+}
+
+bool write_json(const std::string& path) {
+  obs::Report rep("table3_nggps");
+  obs::Json& records = rep.root().arr("records");
+  for (const auto& r : rows()) {
+    records.push()
+        .set("workload", r.workload)
+        .set("dycore", r.dycore)
+        .set("procs", static_cast<std::int64_t>(r.procs))
+        .set("runtime_s", r.runtime_s)
+        .set("paper_s", r.paper_s);
+  }
+  return rep.write(path);
 }
 
 void print_table() {
@@ -49,7 +67,9 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions cli = obs::extract_cli(argc, argv);
   print_table();
+  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -14,24 +14,38 @@ PipelineAccelerator::PipelineAccelerator(const mesh::CubedSphere& m,
                                          std::vector<int> geom_map)
     : mesh_(m), dims_(d), geom_map_(std::move(geom_map)) {}
 
+void PipelineAccelerator::set_tracer(obs::Tracer* t,
+                                     const std::string& track_name,
+                                     int pid) {
+  trk_ = t != nullptr ? &t->track(track_name, pid, 0) : nullptr;
+  cg_.set_tracer(t, pid, track_name + "/cg");
+}
+
 void PipelineAccelerator::vertical_remap(homme::State& s) {
   std::vector<int> state_elems(s.size());
   std::iota(state_elems.begin(), state_elems.end(), 0);
   const std::vector<int>& geom_elems =
       geom_map_.empty() ? state_elems : geom_map_;
   ++launches_;
+  obs::ScopedSpan remap_span(trk_, "accel:vertical_remap");
   try {
     // The kernel reads and writes the packed image only; s is untouched
     // until the successful write-back below, so a faulted launch can be
     // discarded wholesale.
-    PackedElems p =
-        PackedElems::from_state(mesh_, dims_, s, state_elems, geom_elems);
+    PackedElems p = [&] {
+      obs::ScopedSpan span(trk_, "accel:pack");
+      return PackedElems::from_state(mesh_, dims_, s, state_elems,
+                                     geom_elems);
+    }();
 
     RemapKernel k(p);
     KernelPipeline pipe({&k});
     last_stats_ = pipe.run(cg_);
 
-    p.to_state(s, state_elems);
+    {
+      obs::ScopedSpan span(trk_, "accel:unpack");
+      p.to_state(s, state_elems);
+    }
   } catch (const sw::KernelFault& e) {
     degrade(s, e.what());
   } catch (const sw::LdmOverflow& e) {
@@ -47,7 +61,13 @@ void PipelineAccelerator::degrade(homme::State& s, const std::string& why) {
   // The abandoned launch may have left persistent-LDM residency entries
   // pinned to the destroyed packed image; purge before the next launch.
   cg_.purge_ldm();
-  homme::vertical_remap_local(dims_, s);
+  // A fallback that succeeds is otherwise invisible in any report: count
+  // it in the per-phase summary even on healthy-looking runs.
+  if (trk_ != nullptr) trk_->instant("accel:host_fallback");
+  {
+    obs::ScopedSpan span(trk_, "accel:host_remap");
+    homme::vertical_remap_local(dims_, s);
+  }
   last_stats_ = sw::KernelStats{};
   last_stats_.totals.host_fallbacks = 1;
 }

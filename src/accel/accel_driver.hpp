@@ -42,6 +42,14 @@ class PipelineAccelerator final : public homme::StepAccelerator {
   /// Inject simulated faults into subsequent launches (nullptr detaches).
   void set_fault_plan(sw::FaultPlan* plan) { cg_.set_fault_plan(plan); }
 
+  /// Attach a tracer: the accelerator reports pack/offload/unpack spans
+  /// and host fallbacks (as counted "accel:host_fallback" instants) on
+  /// track \p track_name, and forwards the tracer to its core group
+  /// ("<track_name>/cg" tracks, same pid). Two accelerators on one tracer
+  /// need distinct names.
+  void set_tracer(obs::Tracer* t, const std::string& track_name = "accel",
+                  int pid = sw::CoreGroup::kDefaultTracePid);
+
   /// Stats of the most recent offloaded launch (empty before the first).
   const sw::KernelStats& last_stats() const { return last_stats_; }
   /// Number of launches routed through this accelerator so far.
@@ -62,6 +70,7 @@ class PipelineAccelerator final : public homme::StepAccelerator {
   int launches_ = 0;
   int fallbacks_ = 0;
   std::string last_fault_;
+  obs::Track* trk_ = nullptr;
 };
 
 }  // namespace accel

@@ -283,6 +283,17 @@ sw::KernelStats KernelPipeline::run_fused(
   opts.ncpes = sw::kCpesPerGroup;
   opts.spawn_overhead_cycles = sw::kSpawnCycles;
   opts.preserve_ldm = true;
+  // Traced launches get a named span ("launch:<first kernel>[+n]") that
+  // stays open (trace_defer) so the per-kernel phase breakdown can be
+  // emitted inside it before it closes with the whole-launch counters.
+  obs::Tracer* tracer = cg.tracer();
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  if (tracing) {
+    std::string label = "launch:" + std::string(segment[0]->name());
+    if (nkernels > 1) label += "+" + std::to_string(nkernels - 1);
+    opts.trace_name = tracer->intern(label);
+    opts.trace_defer = true;
+  }
   sw::KernelStats stats = cg.run(kernel, opts);
 
   for (int ph = 0; ph < nphases; ++ph) {
@@ -299,6 +310,25 @@ sw::KernelStats KernelPipeline::run_fused(
     }
     p.seconds = p.cycles / sw::kCpeClockHz;
     stats.phases.push_back(std::move(p));
+  }
+
+  if (tracing && cg.trace_span_open()) {
+    // Per-kernel phases as complete events laid end to end inside the
+    // launch span (phase cycles are max-over-CPEs, so the layout is an
+    // attribution, not a strict schedule), then close the deferred span
+    // with the whole-launch counter attachment.
+    obs::Track* trk = cg.trace_track();
+    double t = cg.trace_launch_t0_us();
+    for (const sw::PhaseStats& p : stats.phases) {
+      const sw::CounterAttachment attach = sw::counter_attachment(p.totals);
+      std::string phase_name = "kernel:";
+      phase_name += p.name;
+      trk->complete_at(tracer->intern(phase_name), t, p.seconds * 1e6,
+                       attach);
+      t += p.seconds * 1e6;
+    }
+    const sw::CounterAttachment attach = sw::counter_attachment(stats.totals);
+    cg.trace_end_launch(attach);
   }
   return stats;
 }

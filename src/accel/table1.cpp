@@ -46,7 +46,8 @@ double packed_max_rel_diff(const PackedElems& a, const PackedElems& b) {
   return worst;
 }
 
-std::vector<Table1Row> run_table1(const Table1Config& cfg) {
+std::vector<Table1Row> run_table1(const Table1Config& cfg,
+                                  obs::Tracer* tracer) {
   homme::Dims d;
   d.nlev = cfg.nlev;
   d.qsize = cfg.qsize;
@@ -108,17 +109,31 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
   add_hv("hypervis_dp2", 3.81, 9.05, 1.32, HvKernel::kDp2, 2);
   add_hv("biharmonic_dp3d", 9.35, 36.18, 4.43, HvKernel::kBiharmDp3d, 2);
 
+  // The counter columns flow through the obs:: summary: every launch span
+  // carries its CpeCounters attachment, and per-platform values are
+  // isolated as summary deltas around each run. When the caller supplies
+  // an enabled tracer the same events also become the exported timeline;
+  // otherwise a throwaway internal tracer feeds the counter path.
+  obs::Tracer internal(obs::ClockDomain::kVirtual);
+  internal.enable();
+  obs::Tracer* tr =
+      (tracer != nullptr && tracer->enabled()) ? tracer : &internal;
+
   sw::CoreGroup cg;
+  cg.set_tracer(tr, sw::CoreGroup::kDefaultTracePid, "table1/cg");
   std::vector<Table1Row> rows;
   for (std::size_t si = 0; si < specs.size(); ++si) {
     auto& spec = specs[si];
     PackedElems ref_p = base;
     spec.ref(ref_p);
 
+    const obs::Summary sum0 = tr->summary();
     PackedElems acc_p = base;
     const auto acc_stats = spec.acc(cg, acc_p);
+    const obs::Summary sum_acc = tr->summary();
     PackedElems ath_p = base;
     const auto ath_stats = spec.athread(cg, ath_p);
+    const obs::Summary sum_ath = tr->summary();
 
     const double acc_err = packed_max_rel_diff(ref_p, acc_p);
     const double ath_err = packed_max_rel_diff(ref_p, ath_p);
@@ -130,17 +145,58 @@ std::vector<Table1Row> run_table1(const Table1Config& cfg) {
                                ", athread " + std::to_string(ath_err) + ")");
     }
 
+    // Counter columns via the obs:: attachment path ("launch"-prefixed
+    // phases), with an identity check against the KernelStats totals —
+    // any double counting or drift between the two paths is a logic
+    // error, not a tolerance.
+    const auto launch_ctr = [](const obs::Summary& before,
+                               const obs::Summary& after,
+                               std::string_view key) {
+      return obs::phase_counter_delta(before, after, "launch", key);
+    };
+    const auto check = [&spec](const char* what, std::uint64_t obs_v,
+                               std::uint64_t stats_v) {
+      if (obs_v != stats_v) {
+        throw std::logic_error(
+            "table1: obs counter path drifts from KernelStats for " +
+            spec.name + " " + what + " (obs " + std::to_string(obs_v) +
+            " vs stats " + std::to_string(stats_v) + ")");
+      }
+      return obs_v;
+    };
+
     Table1Row row;
     row.name = spec.name;
     row.paper_intel = spec.paper_intel;
     row.paper_mpe = spec.paper_mpe;
     row.paper_acc = spec.paper_acc;
-    row.flops = ath_stats.totals.total_flops();
-    row.acc_dma_bytes = acc_stats.totals.total_dma_bytes();
-    row.athread_dma_bytes = ath_stats.totals.total_dma_bytes();
-    row.athread_dma_reused = ath_stats.totals.dma_reused_bytes;
-    row.athread_dma_cold = ath_stats.totals.dma_cold_bytes;
-    row.athread_fallbacks = ath_stats.totals.host_fallbacks;
+    row.flops =
+        check("flops",
+              launch_ctr(sum_acc, sum_ath, "scalar_flops") +
+                  launch_ctr(sum_acc, sum_ath, "vector_flops"),
+              ath_stats.totals.total_flops());
+    row.acc_dma_bytes =
+        check("acc_dma_bytes",
+              launch_ctr(sum0, sum_acc, "dma_get_bytes") +
+                  launch_ctr(sum0, sum_acc, "dma_put_bytes"),
+              acc_stats.totals.total_dma_bytes());
+    row.athread_dma_bytes =
+        check("athread_dma_bytes",
+              launch_ctr(sum_acc, sum_ath, "dma_get_bytes") +
+                  launch_ctr(sum_acc, sum_ath, "dma_put_bytes"),
+              ath_stats.totals.total_dma_bytes());
+    row.athread_dma_reused =
+        check("athread_dma_reused",
+              launch_ctr(sum_acc, sum_ath, "dma_reused_bytes"),
+              ath_stats.totals.dma_reused_bytes);
+    row.athread_dma_cold =
+        check("athread_dma_cold",
+              launch_ctr(sum_acc, sum_ath, "dma_cold_bytes"),
+              ath_stats.totals.dma_cold_bytes);
+    row.athread_fallbacks =
+        check("athread_fallbacks",
+              launch_ctr(sum_acc, sum_ath, "host_fallbacks"),
+              ath_stats.totals.host_fallbacks);
     row.acc_s = acc_stats.seconds;
     row.athread_s = ath_stats.seconds;
 

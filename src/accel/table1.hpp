@@ -58,7 +58,17 @@ struct Table1Row {
 
 /// Run all six kernels on every platform; also verifies that the OpenACC
 /// and Athread ports agree with the host reference (throws on mismatch).
-std::vector<Table1Row> run_table1(const Table1Config& cfg);
+///
+/// The flop/DMA columns are consumed from the obs:: per-phase summary
+/// (launch-span counter attachments) rather than read off KernelStats
+/// directly; a built-in identity check throws std::logic_error if the two
+/// paths ever disagree (double counting or drift in either one).
+///
+/// Pass an enabled \p tracer to additionally capture the kernel timeline
+/// ("table1/cg" tracks); with nullptr (or a disabled tracer) an internal
+/// tracer feeds the counter path and nothing is retained.
+std::vector<Table1Row> run_table1(const Table1Config& cfg,
+                                  obs::Tracer* tracer = nullptr);
 
 /// Maximum relative deviation between two packed element sets (used by
 /// the correctness gate inside run_table1; exposed for tests).

@@ -134,13 +134,23 @@ void BndryExchange::dss_levels(net::Rank& r, std::span<double* const> fields,
     // Pack everything, then communicate, then route received data through
     // the pack buffer once more before it reaches the accumulators (the
     // unified-interface design the paper measures).
-    accumulate(fields, nlev, boundary_);
-    accumulate(fields, nlev, interior_);
-    for (auto& nb : neighbors_) pack_neighbor(nb);
-    for (auto& nb : neighbors_) {
-      r.send(nb.rank, tag, nb.send);
-      last_msg_bytes_ += nb.send.size() * sizeof(double);
+    {
+      obs::ScopedSpan span(trk_, "bndry:compute");
+      accumulate(fields, nlev, boundary_);
+      accumulate(fields, nlev, interior_);
     }
+    {
+      obs::ScopedSpan span(trk_, "bndry:pack");
+      for (auto& nb : neighbors_) pack_neighbor(nb);
+    }
+    {
+      obs::ScopedSpan span(trk_, "bndry:send");
+      for (auto& nb : neighbors_) {
+        r.send(nb.rank, tag, nb.send);
+        last_msg_bytes_ += nb.send.size() * sizeof(double);
+      }
+    }
+    obs::ScopedSpan wait_span(trk_, "bndry:wait_unpack");
     for (auto& nb : neighbors_) {
       nb.recv.resize(nb.send.size());
       r.recv(nb.rank, tag, nb.recv);
@@ -161,16 +171,30 @@ void BndryExchange::dss_levels(net::Rank& r, std::span<double* const> fields,
   } else {
     // Redesign: boundary elements first, async sends posted before the
     // interior work, receive buffers unpacked directly.
-    accumulate(fields, nlev, boundary_);
-    for (auto& nb : neighbors_) pack_neighbor(nb);
+    {
+      obs::ScopedSpan span(trk_, "bndry:boundary_compute");
+      accumulate(fields, nlev, boundary_);
+    }
+    {
+      obs::ScopedSpan span(trk_, "bndry:pack");
+      for (auto& nb : neighbors_) pack_neighbor(nb);
+    }
     std::vector<net::Request> sends;
     sends.reserve(neighbors_.size());
-    for (auto& nb : neighbors_) {
-      sends.push_back(r.isend(nb.rank, tag, nb.send));
-      last_msg_bytes_ += nb.send.size() * sizeof(double);
+    {
+      obs::ScopedSpan span(trk_, "bndry:post_send");
+      for (auto& nb : neighbors_) {
+        sends.push_back(r.isend(nb.rank, tag, nb.send));
+        last_msg_bytes_ += nb.send.size() * sizeof(double);
+      }
     }
-    // Interior computation overlaps the in-flight messages.
-    accumulate(fields, nlev, interior_);
+    {
+      // Interior computation overlaps the in-flight messages — the
+      // section 7.6 window the ablation trace measures.
+      obs::ScopedSpan span(trk_, "bndry:inner_compute");
+      accumulate(fields, nlev, interior_);
+    }
+    obs::ScopedSpan wait_span(trk_, "bndry:wait_unpack");
     for (auto& nb : neighbors_) {
       nb.recv.resize(nb.send.size());
       r.recv(nb.rank, tag, nb.recv);
@@ -187,7 +211,10 @@ void BndryExchange::dss_levels(net::Rank& r, std::span<double* const> fields,
     r.wait_all(sends);
   }
 
-  scatter(fields, nlev);
+  {
+    obs::ScopedSpan span(trk_, "bndry:scatter");
+    scatter(fields, nlev);
+  }
 }
 
 void BndryExchange::dss_vector_levels(net::Rank& r,
@@ -198,29 +225,35 @@ void BndryExchange::dss_vector_levels(net::Rank& r,
   const std::size_t fs = static_cast<std::size_t>(nlev) * kNpp;
   std::vector<std::vector<double>> cx(n), cy(n), cz(n);
   std::vector<double*> px(n), py(n), pz(n);
-  for (std::size_t le = 0; le < n; ++le) {
-    cx[le].resize(fs);
-    cy[le].resize(fs);
-    cz[le].resize(fs);
-    px[le] = cx[le].data();
-    py[le] = cy[le].data();
-    pz[le] = cz[le].data();
-    const auto& g = mesh_.geom(local_elems_[le]);
-    for (int lev = 0; lev < nlev; ++lev) {
-      contra_to_cart(g, u1[le] + fidx(lev, 0), u2[le] + fidx(lev, 0),
-                     px[le] + fidx(lev, 0), py[le] + fidx(lev, 0),
-                     pz[le] + fidx(lev, 0));
+  {
+    obs::ScopedSpan span(trk_, "bndry:rotate");
+    for (std::size_t le = 0; le < n; ++le) {
+      cx[le].resize(fs);
+      cy[le].resize(fs);
+      cz[le].resize(fs);
+      px[le] = cx[le].data();
+      py[le] = cy[le].data();
+      pz[le] = cz[le].data();
+      const auto& g = mesh_.geom(local_elems_[le]);
+      for (int lev = 0; lev < nlev; ++lev) {
+        contra_to_cart(g, u1[le] + fidx(lev, 0), u2[le] + fidx(lev, 0),
+                       px[le] + fidx(lev, 0), py[le] + fidx(lev, 0),
+                       pz[le] + fidx(lev, 0));
+      }
     }
   }
   dss_levels(r, px, nlev, mode);
   dss_levels(r, py, nlev, mode);
   dss_levels(r, pz, nlev, mode);
-  for (std::size_t le = 0; le < n; ++le) {
-    const auto& g = mesh_.geom(local_elems_[le]);
-    for (int lev = 0; lev < nlev; ++lev) {
-      cart_to_contra(g, px[le] + fidx(lev, 0), py[le] + fidx(lev, 0),
-                     pz[le] + fidx(lev, 0), u1[le] + fidx(lev, 0),
-                     u2[le] + fidx(lev, 0));
+  {
+    obs::ScopedSpan span(trk_, "bndry:rotate");
+    for (std::size_t le = 0; le < n; ++le) {
+      const auto& g = mesh_.geom(local_elems_[le]);
+      for (int lev = 0; lev < nlev; ++lev) {
+        cart_to_contra(g, px[le] + fidx(lev, 0), py[le] + fidx(lev, 0),
+                       pz[le] + fidx(lev, 0), u1[le] + fidx(lev, 0),
+                       u2[le] + fidx(lev, 0));
+      }
     }
   }
 }

@@ -7,6 +7,7 @@
 #include "mesh/cubed_sphere.hpp"
 #include "mesh/partition.hpp"
 #include "net/mini_mpi.hpp"
+#include "obs/trace.hpp"
 
 /// \file bndry.hpp
 /// bndry_exchangev — the distributed direct stiffness summation and the
@@ -67,6 +68,16 @@ class BndryExchange {
   /// MPI bytes sent by the last dss_levels call.
   std::size_t last_msg_bytes() const { return last_msg_bytes_; }
 
+  /// Report exchange phases on \p trk (nullptr detaches). kOverlap emits
+  /// bndry:boundary_compute / pack / post_send / inner_compute (the
+  /// section 7.6 overlap window, open while the sends are in flight) /
+  /// wait_unpack / scatter; kOriginal emits bndry:compute / pack / send /
+  /// wait_unpack / scatter — inner_compute exists only in the redesign,
+  /// which is what the ablation trace keys on. The track must belong to
+  /// the thread that calls dss_levels (normally the net rank track).
+  void set_track(obs::Track* trk) { trk_ = trk; }
+  obs::Track* track() const { return trk_; }
+
  private:
   struct NeighborBuf {
     int rank;
@@ -96,6 +107,7 @@ class BndryExchange {
 
   std::size_t last_copy_bytes_ = 0;
   std::size_t last_msg_bytes_ = 0;
+  obs::Track* trk_ = nullptr;
 };
 
 }  // namespace homme

@@ -65,18 +65,32 @@ double Dycore::stable_dt(const mesh::CubedSphere& m, double cmax) {
   return 0.25 * smallest_gll_spacing(m) / cmax;
 }
 
+void Dycore::set_tracer(obs::Tracer* t) {
+  trk_ = (t != nullptr) ? &t->track("dycore", 0, 0) : nullptr;
+}
+
 void Dycore::step(State& s) {
   const double dt = cfg_.dt;
+  obs::ScopedSpan step_span(trk_, "dyn:step");
 
   // SSP-RK3 (Shu-Osher) on the dynamical fields; tracers ride along via
   // the separate euler_step below, as in CAM-SE's subcycling.
-  compute_and_apply_rhs(mesh_, dims_, s, s, dt, stage1_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    compute_and_apply_rhs(mesh_, dims_, s, s, dt, stage1_);
+  }
   for (std::size_t e = 0; e < s.size(); ++e) stage1_[e].phis = s[e].phis;
 
-  compute_and_apply_rhs(mesh_, dims_, stage1_, stage1_, dt, stage2_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    compute_and_apply_rhs(mesh_, dims_, stage1_, stage1_, dt, stage2_);
+  }
   blend(dims_, 0.75, s, 0.25, stage2_, stage1_);
 
-  compute_and_apply_rhs(mesh_, dims_, stage1_, stage1_, dt, stage2_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    compute_and_apply_rhs(mesh_, dims_, stage1_, stage1_, dt, stage2_);
+  }
   blend(dims_, 1.0 / 3.0, s, 2.0 / 3.0, stage2_, stage1_);
 
   for (std::size_t e = 0; e < s.size(); ++e) {
@@ -87,16 +101,19 @@ void Dycore::step(State& s) {
   }
 
   if (dims_.qsize > 0) {
+    obs::ScopedSpan span(trk_, "dyn:euler");
     euler_step(mesh_, dims_, s, dt, cfg_.limit_tracers);
   }
 
   if (cfg_.hypervis_on) {
+    obs::ScopedSpan span(trk_, "dyn:hypervis");
     hypervis_dp2(mesh_, dims_, s, cfg_.nu, dt);
     biharmonic_dp3d(mesh_, dims_, s, cfg_.nu, dt);
   }
 
   ++step_count_;
   if (cfg_.remap_freq > 0 && step_count_ % cfg_.remap_freq == 0) {
+    obs::ScopedSpan span(trk_, "dyn:remap");
     if (accel_ != nullptr) {
       accel_->vertical_remap(s);
     } else {

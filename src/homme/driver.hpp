@@ -2,6 +2,7 @@
 
 #include "homme/state.hpp"
 #include "mesh/cubed_sphere.hpp"
+#include "obs/trace.hpp"
 
 /// \file driver.hpp
 /// prim_run — the dynamics driver. One dynamics step is:
@@ -67,6 +68,11 @@ class Dycore {
   /// The accelerator must outlive the dycore (not owned).
   void attach_accelerator(StepAccelerator* accel) { accel_ = accel; }
 
+  /// Report step phases (dyn:step > dyn:rhs_stage x3 / dyn:euler /
+  /// dyn:hypervis / dyn:remap) on \p t's "dycore" track, pid 0. nullptr
+  /// detaches.
+  void set_tracer(obs::Tracer* t);
+
  private:
   const mesh::CubedSphere& mesh_;
   Dims dims_;
@@ -74,6 +80,7 @@ class Dycore {
   double min_dx_;
   int step_count_ = 0;
   StepAccelerator* accel_ = nullptr;
+  obs::Track* trk_ = nullptr;
   State stage1_, stage2_;
 };
 

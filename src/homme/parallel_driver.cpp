@@ -239,12 +239,26 @@ void ParallelDycore::hypervis(net::Rank& r, State& s) {
   }
 }
 
+void ParallelDycore::set_tracer(obs::Tracer* t) {
+  trk_ = (t != nullptr)
+             ? &t->track("rank" + std::to_string(bx_.rank()), bx_.rank(), 0)
+             : nullptr;
+  bx_.set_track(trk_);
+}
+
 void ParallelDycore::step(net::Rank& r, State& s) {
   const double dt = cfg_.dt;
+  obs::ScopedSpan step_span(trk_, "dyn:step");
 
-  rhs_stage(r, s, s, dt, stage1_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    rhs_stage(r, s, s, dt, stage1_);
+  }
   for (std::size_t e = 0; e < s.size(); ++e) stage1_[e].phis = s[e].phis;
-  rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  }
   for (std::size_t e = 0; e < s.size(); ++e) {
     for (std::size_t f = 0; f < dims_.field_size(); ++f) {
       stage1_[e].u1[f] = 0.75 * s[e].u1[f] + 0.25 * stage2_[e].u1[f];
@@ -253,7 +267,10 @@ void ParallelDycore::step(net::Rank& r, State& s) {
       stage1_[e].dp[f] = 0.75 * s[e].dp[f] + 0.25 * stage2_[e].dp[f];
     }
   }
-  rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  {
+    obs::ScopedSpan span(trk_, "dyn:rhs_stage");
+    rhs_stage(r, stage1_, stage1_, dt, stage2_);
+  }
   for (std::size_t e = 0; e < s.size(); ++e) {
     for (std::size_t f = 0; f < dims_.field_size(); ++f) {
       s[e].u1[f] = s[e].u1[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u1[f];
@@ -263,12 +280,19 @@ void ParallelDycore::step(net::Rank& r, State& s) {
     }
   }
 
-  if (dims_.qsize > 0) euler_stage(r, s, dt);
-  if (cfg_.hypervis_on) hypervis(r, s);
+  if (dims_.qsize > 0) {
+    obs::ScopedSpan span(trk_, "dyn:euler");
+    euler_stage(r, s, dt);
+  }
+  if (cfg_.hypervis_on) {
+    obs::ScopedSpan span(trk_, "dyn:hypervis");
+    hypervis(r, s);
+  }
 
   ++step_count_;
   if (cfg_.remap_freq > 0 && step_count_ % cfg_.remap_freq == 0) {
     // Column-local: no communication either way.
+    obs::ScopedSpan span(trk_, "dyn:remap");
     if (accel_ != nullptr) {
       accel_->vertical_remap(s);
     } else {

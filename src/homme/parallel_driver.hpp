@@ -64,6 +64,13 @@ class ParallelDycore {
   void attach_accelerator(StepAccelerator* accel) { accel_ = accel; }
   StepAccelerator* accelerator() const { return accel_; }
 
+  /// Report step phases on \p t's "rank<r>" track (pid = rank) — the same
+  /// track the net layer uses when the cluster shares the tracer, so
+  /// dyn:step > bndry:wait_unpack > net:recv nest on one timeline. Also
+  /// wires the BndryExchange phase spans. nullptr detaches. Call from the
+  /// rank's own thread (or before the cluster runs).
+  void set_tracer(obs::Tracer* t);
+
   int step_count() const { return step_count_; }
   const Dims& dims() const { return dims_; }
   const DycoreConfig& config() const { return cfg_; }
@@ -96,6 +103,7 @@ class ParallelDycore {
   BndryExchange bx_;
   int step_count_ = 0;
   StepAccelerator* accel_ = nullptr;
+  obs::Track* trk_ = nullptr;
   State stage1_, stage2_;
 };
 

@@ -13,22 +13,47 @@ namespace net {
 // Rank
 // ---------------------------------------------------------------------------
 
+obs::Track* Rank::trace_track() {
+  if (!trk_init_) {
+    trk_ = cluster_->rank_track(rank_);
+    trk_init_ = true;
+  }
+  return trk_;
+}
+
 void Rank::send(int dst, int tag, std::span<const double> data) {
   assert(dst >= 0 && dst < size_);
+  obs::Track* trk = trace_track();
+  const std::uint64_t bytes = data.size() * sizeof(double);
+  if (trk != nullptr) {
+    const obs::Counter args[2] = {{"bytes", bytes},
+                                  {"dst", static_cast<std::uint64_t>(dst)}};
+    trk->instant("net:send", args);
+  }
   if (sw::FaultPlan* fp = cluster_->faults_) {
     if (const auto f = fp->on_message(rank_)) {
-      const std::size_t bytes = data.size() * sizeof(double);
       fp->note_fired(*f, bytes);
+      // An injected fault that the run survives would otherwise be
+      // invisible: record it as a counted instant either way.
+      const auto note_fault = [&](const char* what) {
+        if (trk != nullptr) {
+          const obs::Counter args[1] = {{"bytes", bytes}};
+          trk->instant(what, args);
+        }
+      };
       switch (f->kind) {
         case sw::FaultKind::kMsgDrop:
+          note_fault("net:fault:drop");
           return;  // lost on the wire
         case sw::FaultKind::kMsgDuplicate:
+          note_fault("net:fault:duplicate");
           cluster_->deposit(dst,
                             Cluster::Message{rank_, tag,
                                              std::vector<double>(data.begin(),
                                                                  data.end())});
           break;  // plus the normal copy below
         case sw::FaultKind::kMsgTruncate: {
+          note_fault("net:fault:truncate");
           cluster_->deposit(
               dst, Cluster::Message{rank_, tag,
                                     std::vector<double>(
@@ -55,8 +80,24 @@ Request Rank::isend(int dst, int tag, std::span<const double> data) {
 }
 
 void Rank::recv(int src, int tag, std::span<double> out) {
-  auto msg = cluster_->retrieve(rank_, src, tag);
+  obs::Track* trk = trace_track();
+  if (trk != nullptr) trk->begin("net:recv");
+  Cluster::Message msg = [&] {
+    try {
+      return cluster_->retrieve(rank_, src, tag);
+    } catch (...) {
+      if (trk != nullptr) {
+        trk->instant("net:comm_fault");
+        trk->end();
+      }
+      throw;
+    }
+  }();
   if (msg.payload.size() != out.size()) {
+    if (trk != nullptr) {
+      trk->instant("net:fault:length_mismatch");
+      trk->end();
+    }
     throw CommFault(
         "mini_mpi: rank " + std::to_string(rank_) + " recv from " +
             std::to_string(src) + " tag " + std::to_string(tag) +
@@ -68,6 +109,13 @@ void Rank::recv(int src, int tag, std::span<double> out) {
         msg.payload.size() * sizeof(double));
   }
   std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+  if (trk != nullptr) {
+    const obs::Counter args[2] = {
+        {"bytes",
+         static_cast<std::uint64_t>(msg.payload.size() * sizeof(double))},
+        {"src", static_cast<std::uint64_t>(src)}};
+    trk->end(args);
+  }
 }
 
 Request Rank::irecv(int src, int tag, std::span<double> out) {
@@ -93,6 +141,13 @@ void Rank::wait_all(std::span<Request> reqs) {
 void Rank::barrier() { (void)allreduce_sum(0.0); }
 
 double Rank::allreduce_sum(double value) {
+  obs::Track* trk = trace_track();
+  if (trk == nullptr) return allreduce_sum_impl(value);
+  obs::ScopedSpan span(trk, "net:allreduce");
+  return allreduce_sum_impl(value);
+}
+
+double Rank::allreduce_sum_impl(double value) {
   // Generation-counted rendezvous. A rank can only join generation n+1
   // after leaving generation n, so coll_result_ for generation n stays
   // valid until every rank has read it.
@@ -113,6 +168,9 @@ double Rank::allreduce_sum(double value) {
     return c.coll_generation_ != my_gen || c.aborted_.load();
   };
   if (c.watchdog_seconds_ > 0.0) {
+    // A watchdog-bounded wait that succeeds must still be visible in the
+    // per-phase summary (not only when it times out and throws).
+    if (trk_ != nullptr) trk_->instant("net:watchdog_wait");
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(c.watchdog_seconds_);
@@ -148,6 +206,7 @@ std::vector<double> Rank::allgather(double value) {
   // Simple two-phase: everyone sends to everyone via mailboxes with a
   // reserved tag, then receives size-1 values. A barrier on each side
   // isolates concurrent allgathers.
+  obs::ScopedSpan span(trace_track(), "net:allgather");
   constexpr int kTag = -424242;
   barrier();
   for (int dst = 0; dst < size_; ++dst) {
@@ -179,6 +238,20 @@ Cluster::Cluster(int nranks) : nranks_(nranks) {
 
 Cluster::~Cluster() = default;
 
+void Cluster::set_tracer(obs::Tracer* t) {
+  tracer_ = t;
+  rank_tracks_.assign(static_cast<std::size_t>(nranks_), nullptr);
+}
+
+obs::Track* Cluster::rank_track(int r) {
+  if (tracer_ == nullptr) return nullptr;
+  obs::Track*& slot = rank_tracks_[static_cast<std::size_t>(r)];
+  if (slot == nullptr) {
+    slot = &tracer_->track("rank" + std::to_string(r), r, 0);
+  }
+  return slot;
+}
+
 void Cluster::deposit(int dst, Message msg) {
   Mailbox& box = mailbox(dst);
   {
@@ -192,6 +265,7 @@ Cluster::Message Cluster::retrieve(int self, int src, int tag) {
   Mailbox& box = mailbox(self);
   std::unique_lock<std::mutex> lock(box.mu);
   bool timed_out = false;
+  bool watchdog_noted = false;
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -216,6 +290,15 @@ Cluster::Message Cluster::retrieve(int self, int src, int tag) {
                         self, src, tag);
     }
     if (watchdog_seconds_ > 0.0) {
+      if (!watchdog_noted) {
+        // Counted once per blocking receive, even when the message then
+        // arrives in time: successful watchdog-bounded waits must show in
+        // the summary, not just the ones that throw.
+        if (obs::Track* trk = rank_track(self)) {
+          trk->instant("net:watchdog_wait");
+        }
+        watchdog_noted = true;
+      }
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::duration<double>(watchdog_seconds_);

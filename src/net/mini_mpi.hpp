@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 /// \file mini_mpi.hpp
@@ -111,11 +112,20 @@ class Rank {
   /// Gather one double from every rank (result valid on all ranks).
   std::vector<double> allgather(double value);
 
+  /// This rank's trace track ("rank<r>"), or nullptr when the cluster has
+  /// no tracer. The dycore layers share it so net events nest inside
+  /// their step spans.
+  obs::Track* trace_track();
+
  private:
   friend class Cluster;
+  double allreduce_sum_impl(double value);
+
   Cluster* cluster_ = nullptr;
   int rank_ = 0;
   int size_ = 0;
+  obs::Track* trk_ = nullptr;
+  bool trk_init_ = false;
 };
 
 /// A set of ranks executed on real threads. Construct, then run() a rank
@@ -143,6 +153,16 @@ class Cluster {
 
   /// Execute \p fn as every rank, in parallel, and join.
   void run(const std::function<void(Rank&)>& fn);
+
+  /// Attach a tracer: every rank reports sends/receives/collectives,
+  /// watchdog-bounded waits and injected message faults on its own
+  /// "rank<r>" track (pid = r). nullptr detaches. Call while no rank
+  /// function is running.
+  void set_tracer(obs::Tracer* t);
+  obs::Tracer* tracer() const { return tracer_; }
+  /// Rank \p r's track, created lazily (nullptr when no tracer attached).
+  /// Only rank r's thread may use the returned track for recording.
+  obs::Track* rank_track(int r);
 
  private:
   friend class Rank;
@@ -178,6 +198,9 @@ class Cluster {
   sw::FaultPlan* faults_ = nullptr;
   double watchdog_seconds_ = 0.0;
   std::atomic<bool> aborted_{false};
+
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::Track*> rank_tracks_;
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -2,13 +2,33 @@
 
 #include <cassert>
 #include <cstring>
+#include <exception>
+#include <string>
 
 namespace sw {
 
 namespace {
 /// Extra DMA cost per strided block after the first (row activation).
 constexpr double kDmaBlockCycles = 8.0;
+/// Modeled CPE cycles to exported-trace microseconds.
+constexpr double kUsPerCycle = 1e6 / kCpeClockHz;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Cpe: fine-detail trace events (modeled timestamps)
+// ---------------------------------------------------------------------------
+
+void Cpe::trace_dma(const char* name, double issue_cycle,
+                    double complete_cycle, std::size_t bytes) {
+  const obs::Counter args[1] = {
+      {"bytes", static_cast<std::uint64_t>(bytes)}};
+  trace_->complete_at(name, trace_epoch_us_ + issue_cycle * kUsPerCycle,
+                      (complete_cycle - issue_cycle) * kUsPerCycle, args);
+}
+
+void Cpe::trace_reg(const char* name) {
+  trace_->instant_at(name, trace_epoch_us_ + clock_ * kUsPerCycle);
+}
 
 // ---------------------------------------------------------------------------
 // Cpe: fault hooks
@@ -61,7 +81,10 @@ DmaHandle Cpe::dma_get(void* ldm_dst, const void* mem_src,
   ctr_.dma_get_bytes += bytes;
   ctr_.dma_ops += 1;
   note_ldm_peak();
-  return DmaHandle{cg_->dma_cost(*this, bytes, 1)};
+  const double issue_cycle = clock_;
+  DmaHandle h{cg_->dma_cost(*this, bytes, 1)};
+  if (trace_ != nullptr) trace_dma("dma:get", issue_cycle, h.complete_cycle, bytes);
+  return h;
 }
 
 DmaHandle Cpe::dma_put(void* mem_dst, const void* ldm_src,
@@ -71,7 +94,10 @@ DmaHandle Cpe::dma_put(void* mem_dst, const void* ldm_src,
   if (corrupt) apply_corruption(mem_dst, bytes);
   ctr_.dma_put_bytes += bytes;
   ctr_.dma_ops += 1;
-  return DmaHandle{cg_->dma_cost(*this, bytes, 1)};
+  const double issue_cycle = clock_;
+  DmaHandle h{cg_->dma_cost(*this, bytes, 1)};
+  if (trace_ != nullptr) trace_dma("dma:put", issue_cycle, h.complete_cycle, bytes);
+  return h;
 }
 
 DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
@@ -89,7 +115,12 @@ DmaHandle Cpe::dma_get_strided(void* ldm_dst, const void* mem_src,
   ctr_.dma_get_bytes += bytes;
   ctr_.dma_ops += 1;
   note_ldm_peak();
-  return DmaHandle{cg_->dma_cost(*this, bytes, count)};
+  const double issue_cycle = clock_;
+  DmaHandle h{cg_->dma_cost(*this, bytes, count)};
+  if (trace_ != nullptr) {
+    trace_dma("dma:get_strided", issue_cycle, h.complete_cycle, bytes);
+  }
+  return h;
 }
 
 DmaHandle Cpe::dma_put_strided(void* mem_dst, const void* ldm_src,
@@ -108,7 +139,12 @@ DmaHandle Cpe::dma_put_strided(void* mem_dst, const void* ldm_src,
   if (corrupt) apply_corruption(dst, block_bytes);
   ctr_.dma_put_bytes += bytes;
   ctr_.dma_ops += 1;
-  return DmaHandle{cg_->dma_cost(*this, bytes, count)};
+  const double issue_cycle = clock_;
+  DmaHandle h{cg_->dma_cost(*this, bytes, count)};
+  if (trace_ != nullptr) {
+    trace_dma("dma:put_strided", issue_cycle, h.complete_cycle, bytes);
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +177,7 @@ void Cpe::SendAwaiter::await_resume() {
   // guarantees) is preserved because each source is sequential.
   self.clock_ += kRegCommSendCycles;
   self.ctr_.reg_sends += 1;
+  if (self.trace_ != nullptr) self.trace_reg("reg:send");
   if (FaultPlan* fp = self.cg_->active_faults_) {
     if (const auto f = fp->on_reg_send(self.id_)) {
       fp->note_fired(*f, kVectorBytes);
@@ -168,6 +205,7 @@ v4d Cpe::RecvAwaiter::await_resume() {
   self.clock_ = std::max(self.clock_ + kRegCommRecvCycles,
                          msg.sent_cycle + kRegCommLatencyCycles);
   self.ctr_.reg_recvs += 1;
+  if (self.trace_ != nullptr) self.trace_reg("reg:recv");
   if (!fifo.send_waiters.empty()) {
     auto h = fifo.send_waiters.back();
     fifo.send_waiters.pop_back();
@@ -214,6 +252,42 @@ void CoreGroup::purge_ldm() {
     c.ldm_.reset_peak();
     c.ledger_.clear();
   }
+}
+
+void CoreGroup::set_tracer(obs::Tracer* t, int pid,
+                           std::string track_prefix) {
+  tracer_ = t;
+  trace_pid_ = pid;
+  trace_prefix_ = std::move(track_prefix);
+  cg_track_ = nullptr;
+  cpe_tracks_.clear();
+  trace_epoch_us_ = 0.0;
+  trace_launch_t0_us_ = 0.0;
+  trace_span_open_ = false;
+  for (Cpe& c : cpes_) c.trace_ = nullptr;
+}
+
+void CoreGroup::ensure_trace_tracks(int ncpes) {
+  if (cg_track_ == nullptr) {
+    cg_track_ = &tracer_->track(trace_prefix_, trace_pid_, 0);
+  }
+  if (!tracer_->fine()) return;
+  if (cpe_tracks_.empty()) {
+    cpe_tracks_.resize(static_cast<std::size_t>(kCpesPerGroup), nullptr);
+  }
+  for (int id = 0; id < ncpes; ++id) {
+    auto& slot = cpe_tracks_[static_cast<std::size_t>(id)];
+    if (slot == nullptr) {
+      slot = &tracer_->track(trace_prefix_ + "/cpe" + std::to_string(id),
+                             trace_pid_, 1 + id);
+    }
+  }
+}
+
+void CoreGroup::trace_end_launch(obs::CounterList args) {
+  if (!trace_span_open_) return;
+  cg_track_->end_at(trace_epoch_us_, args);
+  trace_span_open_ = false;
 }
 
 CoreGroup::CoreGroup()
@@ -276,6 +350,39 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
     }
   }
 
+  // Open the launch span on the modeled timeline. A scope guard keeps the
+  // trace well-formed on the fault paths below (typed KernelFault,
+  // SchedulerDeadlock): the span is closed at the launch start time and
+  // the per-CPE fine-track pointers never outlive the launch.
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing) {
+    ensure_trace_tracks(ncpes);
+    trace_launch_t0_us_ = trace_epoch_us_;
+    cg_track_->begin_at(opts.trace_name, trace_epoch_us_);
+    trace_span_open_ = true;
+    const bool fine = tracer_->fine();
+    for (int id = 0; id < ncpes; ++id) {
+      Cpe& c = cpes_[static_cast<std::size_t>(id)];
+      c.trace_ = fine ? cpe_tracks_[static_cast<std::size_t>(id)] : nullptr;
+      c.trace_epoch_us_ = trace_epoch_us_;
+    }
+  }
+  struct TraceGuard {
+    CoreGroup* cg;
+    int ncpes;
+    bool active;
+    ~TraceGuard() {
+      if (!active) return;
+      for (int id = 0; id < ncpes; ++id) {
+        cg->cpes_[static_cast<std::size_t>(id)].trace_ = nullptr;
+      }
+      if (std::uncaught_exceptions() > 0 && cg->trace_span_open_) {
+        cg->cg_track_->end_at(cg->trace_epoch_us_);
+        cg->trace_span_open_ = false;
+      }
+    }
+  } trace_guard{this, ncpes, tracing};
+
   std::vector<Task> tasks;
   tasks.reserve(static_cast<std::size_t>(ncpes));
   for (int id = 0; id < ncpes; ++id) {
@@ -289,7 +396,16 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
     if (!h.done()) h.resume();
   }
 
-  for (const Task& t : tasks) t.rethrow_if_failed();
+  const auto trace_abort = [&](const char* what) {
+    if (tracing) cg_track_->instant_at(what, trace_epoch_us_);
+  };
+
+  try {
+    for (const Task& t : tasks) t.rethrow_if_failed();
+  } catch (...) {
+    trace_abort("cg:fault");
+    throw;
+  }
 
   int blocked = 0;
   for (const Task& t : tasks) {
@@ -299,9 +415,11 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
     // A receiver starved by an injected message drop is an injected
     // fault, not a kernel bug: surface it as the typed KernelFault.
     if (!dropped_reg_.empty()) {
+      trace_abort("cg:fault");
       throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
                         dropped_reg_.front().op_index, kVectorBytes);
     }
+    trace_abort("cg:deadlock");
     throw SchedulerDeadlock(
         "core-group deadlock: " + std::to_string(blocked) + " of " +
         std::to_string(ncpes) +
@@ -310,6 +428,7 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
   for (const auto& f : row_fifos_) {
     if (!f.empty()) {
       if (!dropped_reg_.empty()) {
+        trace_abort("cg:fault");
         throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
                           dropped_reg_.front().op_index, kVectorBytes);
       }
@@ -319,6 +438,7 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
   for (const auto& f : col_fifos_) {
     if (!f.empty()) {
       if (!dropped_reg_.empty()) {
+        trace_abort("cg:fault");
         throw KernelFault(FaultKind::kRegDrop, dropped_reg_.front().cpe,
                           dropped_reg_.front().op_index, kVectorBytes);
       }
@@ -338,6 +458,18 @@ KernelStats CoreGroup::run(const std::function<Task(Cpe&)>& make_kernel,
   stats.cycles = std::max(stats.cycles, mc_busy_total_);
   stats.cycles += spawn_overhead_cycles;
   stats.seconds = stats.cycles / kCpeClockHz;
+
+  if (tracing) {
+    // Advance the modeled-time cursor past this launch, then close the
+    // span with the launch's counters — unless the caller deferred the
+    // close to emit per-kernel phase events first (KernelPipeline).
+    trace_epoch_us_ = trace_launch_t0_us_ + stats.seconds * 1e6;
+    if (!opts.trace_defer) {
+      const CounterAttachment attach = counter_attachment(stats.totals);
+      cg_track_->end_at(trace_epoch_us_, attach);
+      trace_span_open_ = false;
+    }
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sw/config.hpp"
 #include "sw/counters.hpp"
 #include "sw/fault.hpp"
@@ -179,6 +180,13 @@ class Cpe {
                                                   ldm_.peak());
   }
 
+  /// Record one DMA descriptor as a complete event on this CPE's fine
+  /// trace track (modeled issue -> completion window).
+  void trace_dma(const char* name, double issue_cycle, double complete_cycle,
+                 std::size_t bytes);
+  /// Record a register-communication operation as an instant.
+  void trace_reg(const char* name);
+
   CoreGroup* cg_ = nullptr;
   int id_ = 0;
   int row_ = 0;
@@ -187,6 +195,10 @@ class Cpe {
   Ldm ldm_;
   CpeCounters ctr_;
   ResidencyLedger ledger_;
+  /// Fine-detail trace track; non-null only during a traced launch at
+  /// Detail::kFine (the hot-path check is one pointer test).
+  obs::Track* trace_ = nullptr;
+  double trace_epoch_us_ = 0.0;
 };
 
 /// The 8x8 CPE cluster plus scheduler and memory controller of one core
@@ -209,6 +221,13 @@ struct RunOptions {
   /// register-communication send of this launch (nullptr: use the plan
   /// installed with CoreGroup::set_fault_plan, if any).
   FaultPlan* faults = nullptr;
+  /// Span name for this launch on the core group's trace track (interned
+  /// or static storage).
+  const char* trace_name = "launch";
+  /// Leave the launch span open when run() returns so the caller (the
+  /// kernel pipeline) can emit per-kernel phase events inside it and close
+  /// it with CoreGroup::trace_end_launch.
+  bool trace_defer = false;
 };
 
 class CoreGroup {
@@ -238,8 +257,36 @@ class CoreGroup {
   /// degradation path purges it before the next launch.
   void purge_ldm();
 
+  // -- observability --------------------------------------------------------
+  // The core group reports on its own *modeled* timeline: launches appear
+  // as spans on track "<prefix>" whose timestamps derive from simulated
+  // cycles (trace_epoch_us advances by each launch's modeled seconds). At
+  // Detail::kFine every CPE additionally gets a "<prefix>/cpe<i>" track
+  // with per-descriptor DMA complete events and reg-comm instants.
+
+  /// Attach (or detach with nullptr) a tracer. \p pid is the exported
+  /// process id of this core group's tracks; \p track_prefix keeps two
+  /// core groups of one tracer distinct.
+  void set_tracer(obs::Tracer* t, int pid = kDefaultTracePid,
+                  std::string track_prefix = "cg");
+  obs::Tracer* tracer() const { return tracer_; }
+  /// The launch track, or nullptr when no tracer is attached.
+  obs::Track* trace_track() const { return cg_track_; }
+  /// Modeled-time cursor: where the next launch starts, microseconds.
+  double trace_epoch_us() const { return trace_epoch_us_; }
+  /// Where the most recent launch's span opened, microseconds.
+  double trace_launch_t0_us() const { return trace_launch_t0_us_; }
+  bool trace_span_open() const { return trace_span_open_; }
+  /// Close a deferred launch span (RunOptions::trace_defer) at the launch
+  /// end time with \p args attached. No-op if no span is open.
+  void trace_end_launch(obs::CounterList args);
+
+  static constexpr int kDefaultTracePid = 64;
+
  private:
   friend class Cpe;
+
+  void ensure_trace_tracks(int ncpes);
 
   void ready(std::coroutine_handle<> h) { ready_.push_back(h); }
 
@@ -280,6 +327,16 @@ class CoreGroup {
   std::vector<std::pair<Cpe*, std::coroutine_handle<>>> barrier_waiters_;
 
   std::deque<std::coroutine_handle<>> ready_;
+
+  // Observability state (see set_tracer).
+  obs::Tracer* tracer_ = nullptr;
+  int trace_pid_ = kDefaultTracePid;
+  std::string trace_prefix_ = "cg";
+  obs::Track* cg_track_ = nullptr;
+  std::vector<obs::Track*> cpe_tracks_;
+  double trace_epoch_us_ = 0.0;
+  double trace_launch_t0_us_ = 0.0;
+  bool trace_span_open_ = false;
 
   double dma_cost(Cpe& cpe, std::size_t bytes, std::size_t descriptors);
 };

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 /// \file counters.hpp
 /// Per-CPE and aggregated performance counters. The simulator measures
@@ -69,6 +72,41 @@ inline CpeCounters counters_delta(const CpeCounters& after,
   d.dma_cold_bytes = after.dma_cold_bytes - before.dma_cold_bytes;
   d.host_fallbacks = after.host_fallbacks - before.host_fallbacks;
   return d;
+}
+
+/// A CpeCounters snapshot rendered as an obs:: counter attachment, so a
+/// launch/phase span carries the full counter set into the per-phase
+/// summary. Owns the inline array the obs::CounterList points into — keep
+/// it alive for the duration of the trace call.
+struct CounterAttachment {
+  std::array<obs::Counter, 11> items{};
+  std::size_t count = 0;
+  operator obs::CounterList() const {
+    return obs::CounterList(items.data(), count);
+  }
+};
+
+/// Attach every CpeCounters field by name. Table 1 and the bench reports
+/// consume these through the summary instead of a parallel bookkeeping
+/// path. Note ldm_peak_bytes is a high-water mark: summed across launches
+/// it is only meaningful via per-launch summary deltas.
+inline CounterAttachment counter_attachment(const CpeCounters& c) {
+  CounterAttachment a;
+  const auto add = [&a](const char* name, std::uint64_t v) {
+    a.items[a.count++] = obs::Counter{name, v};
+  };
+  add("scalar_flops", c.scalar_flops);
+  add("vector_flops", c.vector_flops);
+  add("dma_get_bytes", c.dma_get_bytes);
+  add("dma_put_bytes", c.dma_put_bytes);
+  add("dma_ops", c.dma_ops);
+  add("reg_sends", c.reg_sends);
+  add("reg_recvs", c.reg_recvs);
+  add("ldm_peak_bytes", c.ldm_peak_bytes);
+  add("dma_reused_bytes", c.dma_reused_bytes);
+  add("dma_cold_bytes", c.dma_cold_bytes);
+  add("host_fallbacks", c.host_fallbacks);
+  return a;
 }
 
 /// One pipeline stage's share of a kernel launch (per-kernel breakdown of

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs:: tracer.
+
+Checks, beyond plain JSON validity:
+  - the document is an object with a "traceEvents" list
+  - every event carries name/ph/pid/tid, with ph one of B E X i C M
+  - timed events (B/E/X/i) carry a numeric "ts"; X additionally "dur" >= 0
+  - per (pid, tid) stream, B/E events stay balanced: depth never goes
+    negative and ends at zero (the exporter must have skipped orphan ends)
+  - instant events carry the scope field "s"
+  - counter args, when present, are an object of numbers
+
+Exit status is nonzero on the first violation, so CI can gate on it.
+
+Usage: validate_trace.py <trace.json> [<trace.json> ...]
+"""
+
+import json
+import sys
+
+ALLOWED_PH = {"B", "E", "X", "i", "C", "M"}
+TIMED_PH = {"B", "E", "X", "i"}
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, 'top level must be an object with "traceEvents"')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, '"traceEvents" must be a list')
+
+    depths = {}  # (pid, tid) -> open-span depth
+    n_timed = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            return fail(path, f"{where}: event is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                return fail(path, f"{where}: missing {key!r}")
+        ph = e["ph"]
+        if ph not in ALLOWED_PH:
+            return fail(path, f"{where}: unknown phase {ph!r}")
+        if not isinstance(e["pid"], int) or not isinstance(e["tid"], int):
+            return fail(path, f"{where}: pid/tid must be integers")
+        if ph in TIMED_PH:
+            n_timed += 1
+            if not isinstance(e.get("ts"), (int, float)):
+                return fail(path, f"{where}: {ph} event needs a numeric ts")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                return fail(path, f"{where}: X event needs dur >= 0")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            return fail(path, f"{where}: instant event needs scope s")
+        if "args" in e:
+            if not isinstance(e["args"], dict):
+                return fail(path, f"{where}: args must be an object")
+            if ph != "M":
+                for k, v in e["args"].items():
+                    if not isinstance(v, (int, float)):
+                        return fail(
+                            path, f"{where}: counter arg {k!r} not numeric")
+        key = (e["pid"], e["tid"])
+        if ph == "B":
+            depths[key] = depths.get(key, 0) + 1
+        elif ph == "E":
+            d = depths.get(key, 0) - 1
+            if d < 0:
+                return fail(path, f"{where}: unbalanced E on track {key}")
+            depths[key] = d
+
+    open_tracks = {k: d for k, d in depths.items() if d != 0}
+    if open_tracks:
+        return fail(path, f"spans left open at end of trace: {open_tracks}")
+
+    print(f"{path}: OK ({len(events)} events, {n_timed} timed, "
+          f"{len(depths)} span streams)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= validate(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
