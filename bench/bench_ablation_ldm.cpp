@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "accel/euler_acc.hpp"
@@ -68,6 +70,9 @@ BENCHMARK(BM_EulerTraffic)->Arg(0)->Arg(1)->UseManualTime()->Iterations(3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench flags uniformly; nothing here is
+  // size-dependent yet, but the flags must not reach gbench.
+  (void)bench::BenchOptions::parse(argc, argv);
   print_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

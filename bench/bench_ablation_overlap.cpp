@@ -15,21 +15,23 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "bench_common.hpp"
 #include "homme/bndry.hpp"
-#include "homme/init.hpp"
-#include "homme/parallel_driver.hpp"
+#include "model/session.hpp"
 #include "obs/report.hpp"
 #include "perf/machine_model.hpp"
 
 namespace {
 
-/// Wall-domain tracers for the two traced runs; labels / pid offsets keep
-/// the modes apart when merged into one exported file.
-obs::Tracer g_trace_original(obs::ClockDomain::kWall);
-obs::Tracer g_trace_overlap(obs::ClockDomain::kWall);
+/// The two traced sessions stay alive until their wall-domain tracers are
+/// merged into one exported file; labels / pid offsets keep the modes
+/// apart there.
+std::unique_ptr<model::Session> g_sess_original;
+std::unique_ptr<model::Session> g_sess_overlap;
 
 struct ModeAttribution {
   const char* mode;
@@ -41,36 +43,25 @@ struct ModeAttribution {
   double comm_share = 0.0;       ///< (wait+send) / step
 };
 
-/// One full distributed dycore step on 2 ranks with every layer reporting
-/// into \p tracer, then the section 7.6 attribution off its summary.
-ModeAttribution run_traced_step(obs::Tracer& tracer, const char* label,
-                                int pid_offset,
+/// One full distributed model::Session step on 2 ranks with every layer
+/// reporting into the session's tracer, then the section 7.6 attribution
+/// off its summary. The session outlives the call via \p slot.
+ModeAttribution run_traced_step(std::unique_ptr<model::Session>& slot,
+                                const char* label, int pid_offset,
                                 homme::BndryExchange::Mode mode) {
-  tracer.set_label(label);
-  tracer.set_pid_offset(pid_offset);
-  tracer.enable();
+  slot = std::make_unique<model::Session>(
+      model::SessionConfig{}
+          .with_ne(2)
+          .with_levels(8, 2)
+          .with_ranks(2)
+          .with_exchange(mode)
+          .with_remap_freq(1)  // exercise dyn:remap in the one traced step
+          .with_trace(true, obs::ClockDomain::kWall));
+  slot->tracer().set_label(label);
+  slot->tracer().set_pid_offset(pid_offset);
+  slot->step();
 
-  auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
-  auto part = mesh::Partition::build(m, 2);
-  auto plan = mesh::CommPlan::build(m, part);
-  homme::Dims d;
-  d.nlev = 8;
-  d.qsize = 2;
-  homme::DycoreConfig cfg;
-  cfg.remap_freq = 1;  // exercise dyn:remap in the single traced step
-  homme::State global = homme::baroclinic(m, d);
-  homme::init_tracers(m, d, global);
-
-  net::Cluster cluster(2);
-  cluster.set_tracer(&tracer);
-  cluster.run([&](net::Rank& r) {
-    homme::ParallelDycore pd(m, part, plan, d, cfg, r.rank(), mode);
-    pd.set_tracer(&tracer);
-    homme::State local = pd.gather_local(global);
-    pd.step(r, local);
-  });
-
-  const obs::Summary sum = tracer.summary();
+  const obs::Summary sum = slot->summary();
   ModeAttribution a;
   a.mode = label;
   a.step_us = obs::phase_total_us(sum, "dyn:step");
@@ -181,14 +172,14 @@ BENCHMARK(BM_DssExchange)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const obs::CliOptions cli = obs::extract_cli(argc, argv);
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
   print_copy_ablation();
   print_overlap_ablation();
 
   const ModeAttribution orig = run_traced_step(
-      g_trace_original, "original", 0, homme::BndryExchange::Mode::kOriginal);
+      g_sess_original, "original", 0, homme::BndryExchange::Mode::kOriginal);
   const ModeAttribution over = run_traced_step(
-      g_trace_overlap, "overlap", 1000, homme::BndryExchange::Mode::kOverlap);
+      g_sess_overlap, "overlap", 1000, homme::BndryExchange::Mode::kOverlap);
   std::printf("=== Traced step (2 ranks, ne2, 8 levels): section 7.6 "
               "comm-share attribution ===\n");
   std::printf("%-10s %12s %12s %12s %12s %6s %10s\n", "mode", "step us",
@@ -198,7 +189,7 @@ int main(int argc, char** argv) {
   std::printf("(bndry:inner_compute exists only in the overlap redesign: it "
               "is the interior work running while sends are in flight)\n\n");
 
-  if (!cli.json_path.empty()) {
+  if (!opts.json_path.empty()) {
     obs::Report rep("ablation_overlap");
     rep.config().set("ranks", 2).set("mesh_ne", 2).set("nlev", 8).set(
         "qsize", 2);
@@ -213,11 +204,12 @@ int main(int argc, char** argv) {
           .set("inner_compute_count", a->inner_count)
           .set("comm_share", a->comm_share);
     }
-    if (!rep.write(cli.json_path)) return 1;
+    if (!rep.write(opts.json_path)) return 1;
   }
-  if (!cli.trace_path.empty()) {
-    obs::Tracer* tracers[] = {&g_trace_original, &g_trace_overlap};
-    if (!obs::write_chrome_trace(cli.trace_path, tracers)) return 1;
+  if (!opts.trace_path.empty()) {
+    obs::Tracer* tracers[] = {&g_sess_original->tracer(),
+                              &g_sess_overlap->tracer()};
+    if (!obs::write_chrome_trace(opts.trace_path, tracers)) return 1;
   }
 
   benchmark::Initialize(&argc, argv);

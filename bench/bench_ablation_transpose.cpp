@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -100,6 +102,9 @@ BENCHMARK(BM_StridedGather)->UseManualTime()->Iterations(3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench flags uniformly; nothing here is
+  // size-dependent yet, but the flags must not reach gbench.
+  (void)bench::BenchOptions::parse(argc, argv);
   print_ablation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

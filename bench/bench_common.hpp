@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/report.hpp"
+
+/// \file bench_common.hpp
+/// The one bench CLI parser. Every bench used to hand-roll (or skip) the
+/// same flag extraction; BenchOptions::parse pulls the shared flags out
+/// of argc/argv — before google-benchmark sees the rest — in one place:
+///   --json <path>    machine-readable obs::Report
+///   --trace <path>   Chrome trace-event timeline
+///   --small          reduced problem size (CI smoke)
+///   --steps <n>      override the bench's step count
+///   --ne <n>         override the bench's mesh resolution
+///   --workers <n>    engine worker-pool size (ensemble benches)
+///   --members <n>    ensemble member count
+///   --latency-us <n> modeled per-step coupler/ingest stall, microseconds
+
+namespace bench {
+
+struct BenchOptions {
+  std::string json_path;   ///< --json
+  std::string trace_path;  ///< --trace
+  bool small = false;      ///< --small
+  int steps = -1;          ///< --steps; -1 = bench default
+  int ne = -1;             ///< --ne; -1 = bench default
+  int workers = -1;        ///< --workers; -1 = bench default
+  int members = -1;        ///< --members; -1 = bench default
+  int latency_us = -1;     ///< --latency-us; -1 = bench default
+
+  int steps_or(int fallback) const { return steps > 0 ? steps : fallback; }
+  int ne_or(int fallback) const { return ne > 0 ? ne : fallback; }
+  int workers_or(int fallback) const {
+    return workers > 0 ? workers : fallback;
+  }
+  int members_or(int fallback) const {
+    return members > 0 ? members : fallback;
+  }
+  int latency_us_or(int fallback) const {
+    return latency_us >= 0 ? latency_us : fallback;
+  }
+
+  /// Extract (and remove) the shared flags so benchmark::Initialize only
+  /// sees what it understands.
+  static BenchOptions parse(int& argc, char** argv) {
+    BenchOptions opts;
+    const obs::CliOptions cli = obs::extract_cli(argc, argv);
+    opts.json_path = cli.json_path;
+    opts.trace_path = cli.trace_path;
+    opts.small = cli.small;
+
+    auto take_int = [&](const char* flag, int& out) {
+      for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          out = std::atoi(argv[i + 1]);
+          for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+          argc -= 2;
+          return;
+        }
+      }
+    };
+    take_int("--steps", opts.steps);
+    take_int("--ne", opts.ne);
+    take_int("--workers", opts.workers);
+    take_int("--members", opts.members);
+    take_int("--latency-us", opts.latency_us);
+    return opts;
+  }
+};
+
+}  // namespace bench

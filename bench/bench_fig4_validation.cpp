@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "validation/climatology.hpp"
@@ -45,6 +47,9 @@ BENCHMARK(BM_ClimatologyRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench flags uniformly; nothing here is
+  // size-dependent yet, but the flags must not reach gbench.
+  (void)bench::BenchOptions::parse(argc, argv);
   print_figure();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "tc/katrina.hpp"
@@ -74,6 +76,9 @@ BENCHMARK(BM_KatrinaStep)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench flags uniformly; nothing here is
+  // size-dependent yet, but the flags must not reach gbench.
+  (void)bench::BenchOptions::parse(argc, argv);
   print_figure();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

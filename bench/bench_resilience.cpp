@@ -5,7 +5,8 @@
 //
 // Unlike the kernel benches these are *measured* host-side wall times —
 // checkpointing and fallback run on the MPE/host, not on the modeled CPE
-// cluster.
+// cluster. The simulation under test is a model::Session on the pipeline
+// backend; the session's own tracer counts the fallback / fault events.
 //
 // Pass --json <path> to dump the numbers as machine-readable JSON (via
 // obs::Report, including the per-phase obs:: summary with the counted
@@ -16,13 +17,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "accel/accel_driver.hpp"
+#include "bench_common.hpp"
 #include "homme/checkpoint.hpp"
-#include "homme/init.hpp"
 #include "homme/remap.hpp"
+#include "model/session.hpp"
 #include "obs/report.hpp"
 #include "sw/fault.hpp"
 
@@ -44,14 +46,31 @@ struct Results {
   std::uint64_t fault_events = 0;
 };
 
-/// Accumulates the accelerator's obs:: events across the offload and
-/// faulted-launch phases (virtual clock: deterministic, no wall noise).
-obs::Tracer g_tracer(obs::ClockDomain::kVirtual);
-
 constexpr int kMeshNe = 2;
 constexpr int kNlev = 32;
 constexpr int kQsize = 4;
 constexpr int kReps = 5;
+
+/// The fault plan stays attached to the session for its whole life; it
+/// injects nothing until the faulted-launch phase arms it.
+sw::FaultPlan& fault_plan() {
+  static sw::FaultPlan plan;
+  return plan;
+}
+
+/// The simulation under test: one ne2 session on the pipeline backend
+/// with a virtual-clock tracer (deterministic, no wall noise). Kept
+/// alive for the --trace export at the end of main.
+model::Session& session() {
+  static model::Session s(
+      model::SessionConfig{}
+          .with_ne(kMeshNe)
+          .with_levels(kNlev, kQsize)
+          .with_backend(model::SessionConfig::Backend::kPipeline)
+          .with_faults(&fault_plan())
+          .with_trace(true, obs::ClockDomain::kVirtual));
+  return s;
+}
 
 /// Best-of-kReps wall time of \p fn, seconds.
 template <typename F>
@@ -69,12 +88,9 @@ double timed(F&& fn) {
 const Results& results() {
   static const Results r = [] {
     Results out;
-    homme::Dims d;
-    d.nlev = kNlev;
-    d.qsize = kQsize;
-    auto mesh = mesh::CubedSphere::build(kMeshNe, mesh::kEarthRadius);
-    homme::State s = homme::baroclinic(mesh, d);
-    homme::init_tracers(mesh, d, s);
+    model::Session& sess = session();
+    const homme::Dims d = sess.dims();
+    const homme::State s = sess.state();
 
     homme::CheckpointInfo info;
     info.nelem = s.size();
@@ -107,34 +123,30 @@ const Results& results() {
       benchmark::DoNotOptimize(w);
     });
 
-    accel::PipelineAccelerator pa(mesh, d);
-    g_tracer.enable();
-    pa.set_tracer(&g_tracer);
+    homme::StepAccelerator* pa = sess.accelerator();
     out.remap_offload_s = timed([&] {
       homme::State w = s;
-      pa.vertical_remap(w);
+      pa->vertical_remap(w);
       benchmark::DoNotOptimize(w);
     });
 
     // Faulted launch: the first DMA descriptor of any CPE fails, the
     // launch is discarded and the remap redone on the host. reset()
     // re-arms the one-shot spec between reps.
-    sw::FaultPlan plan;
-    plan.inject({sw::FaultKind::kDmaFail, -1, 0});
-    pa.set_fault_plan(&plan);
+    fault_plan().inject({sw::FaultKind::kDmaFail, -1, 0});
     out.remap_fallback_s = timed([&] {
-      plan.reset();
+      fault_plan().reset();
       homme::State w = s;
-      pa.vertical_remap(w);
+      pa->vertical_remap(w);
       benchmark::DoNotOptimize(w);
     });
-    if (pa.fallbacks() < kReps) {
+    if (sess.fallbacks() < kReps) {
       std::fprintf(stderr,
                    "bench_resilience: expected every faulted launch to fall "
                    "back (got %d of %d)\n",
-                   pa.fallbacks(), kReps);
+                   sess.fallbacks(), kReps);
     }
-    const obs::Summary sum = g_tracer.summary();
+    const obs::Summary sum = sess.summary();
     out.fallback_events = obs::phase_count(sum, "accel:host_fallback");
     out.fault_events = obs::phase_count(sum, "cg:fault");
     return out;
@@ -182,7 +194,7 @@ bool write_json(const std::string& path) {
       .set("remap_fallback_s", r.remap_fallback_s)
       .set("host_fallback_events", r.fallback_events)
       .set("core_group_fault_events", r.fault_events);
-  rep.add_summary(g_tracer.summary());
+  rep.add_summary(session().summary());
   return rep.write(path);
 }
 
@@ -209,11 +221,11 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const obs::CliOptions cli = obs::extract_cli(argc, argv);
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
   print_table();
-  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
-  if (!cli.trace_path.empty() &&
-      !g_tracer.write_chrome_trace(cli.trace_path)) {
+  if (!opts.json_path.empty() && !write_json(opts.json_path)) return 1;
+  if (!opts.trace_path.empty() &&
+      !session().tracer().write_chrome_trace(opts.trace_path)) {
     return 1;
   }
   register_benchmarks();

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -100,19 +102,19 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const obs::CliOptions cli = obs::extract_cli(argc, argv);
-  if (cli.small) {
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  if (opts.small) {
     g_cfg.nelem = 8;
     g_cfg.nlev = 32;
     g_cfg.qsize = 4;
   }
   // The tracer feeds the counter path either way; only keep the (large)
   // per-launch timeline when it is actually going to be exported.
-  if (!cli.trace_path.empty() || !cli.json_path.empty()) g_tracer.enable();
+  if (!opts.trace_path.empty() || !opts.json_path.empty()) g_tracer.enable();
   print_table();
-  if (!cli.json_path.empty() && !write_json(cli.json_path)) return 1;
-  if (!cli.trace_path.empty() &&
-      !g_tracer.write_chrome_trace(cli.trace_path)) {
+  if (!opts.json_path.empty() && !write_json(opts.json_path)) return 1;
+  if (!opts.trace_path.empty() &&
+      !g_tracer.write_chrome_trace(opts.trace_path)) {
     return 1;
   }
   register_benchmarks();

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "mesh/cubed_sphere.hpp"
@@ -44,6 +46,9 @@ BENCHMARK(BM_BuildMesh)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench flags uniformly; nothing here is
+  // size-dependent yet, but the flags must not reach gbench.
+  (void)bench::BenchOptions::parse(argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -48,6 +48,8 @@ class BndryExchange {
   int global_elem(int le) const {
     return local_elems_[static_cast<std::size_t>(le)];
   }
+  /// All owned global element ids, local order (= Partition::rank_elems).
+  std::span<const int> local_elements() const { return local_elems_; }
   /// Local elements whose nodes are all rank-interior.
   const std::vector<int>& interior_elements() const { return interior_; }
   /// Local elements touching at least one shared node.

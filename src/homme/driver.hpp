@@ -73,6 +73,12 @@ class Dycore {
   /// detaches.
   void set_tracer(obs::Tracer* t);
 
+  /// Steps taken so far (drives the vertical-remap cadence).
+  int step_count() const { return step_count_; }
+  /// Rewind/advance the step counter — restoring a checkpoint must realign
+  /// the remap cadence or the restarted run diverges from the straight one.
+  void set_step_count(int n) { step_count_ = n; }
+
  private:
   const mesh::CubedSphere& mesh_;
   Dims dims_;

@@ -1,0 +1,33 @@
+#include "homme/local_state.hpp"
+
+namespace homme {
+
+State gather_local(std::span<const int> elems, const State& global) {
+  State local;
+  local.reserve(elems.size());
+  for (int ge : elems) {
+    local.push_back(global[static_cast<std::size_t>(ge)]);
+  }
+  return local;
+}
+
+void scatter_local(std::span<const int> elems, const State& local,
+                   State& global) {
+  for (std::size_t le = 0; le < elems.size(); ++le) {
+    global[static_cast<std::size_t>(elems[le])] = local[le];
+  }
+}
+
+State gather_local(const mesh::Partition& part, int rank,
+                   const State& global) {
+  return gather_local(part.rank_elems[static_cast<std::size_t>(rank)],
+                      global);
+}
+
+void scatter_local(const mesh::Partition& part, int rank, const State& local,
+                   State& global) {
+  scatter_local(part.rank_elems[static_cast<std::size_t>(rank)], local,
+                global);
+}
+
+}  // namespace homme

@@ -6,6 +6,7 @@
 
 #include "homme/checkpoint.hpp"
 #include "homme/dss.hpp"
+#include "homme/local_state.hpp"
 #include "homme/euler.hpp"
 #include "homme/ops.hpp"
 #include "homme/remap.hpp"
@@ -51,19 +52,11 @@ ParallelDycore::ParallelDycore(const mesh::CubedSphere& m,
 }
 
 State ParallelDycore::gather_local(const State& global) const {
-  State local;
-  local.reserve(static_cast<std::size_t>(bx_.nlocal()));
-  for (int le = 0; le < bx_.nlocal(); ++le) {
-    local.push_back(global[static_cast<std::size_t>(bx_.global_elem(le))]);
-  }
-  return local;
+  return homme::gather_local(bx_.local_elements(), global);
 }
 
 void ParallelDycore::scatter_local(const State& local, State& global) const {
-  for (int le = 0; le < bx_.nlocal(); ++le) {
-    global[static_cast<std::size_t>(bx_.global_elem(le))] =
-        local[static_cast<std::size_t>(le)];
-  }
+  homme::scatter_local(bx_.local_elements(), local, global);
 }
 
 void ParallelDycore::dss_state(net::Rank& r, State& s) {

@@ -1,0 +1,363 @@
+#include "model/session.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "accel/accel_driver.hpp"
+#include "homme/checkpoint.hpp"
+#include "homme/init.hpp"
+#include "homme/local_state.hpp"
+
+namespace model {
+
+// -- SessionConfig -----------------------------------------------------------
+
+homme::DycoreConfig SessionConfig::dycore_config() const {
+  homme::DycoreConfig c;
+  c.dt = dt;
+  c.remap_freq = remap_freq;
+  c.nu = nu;
+  c.limit_tracers = limit_tracers;
+  c.hypervis_on = hypervis_on;
+  return c;
+}
+
+homme::Dims SessionConfig::dims() const {
+  homme::Dims d;
+  d.nlev = nlev;
+  d.qsize = qsize;
+  d.moist = moist;
+  return d;
+}
+
+void SessionConfig::validate() const {
+  if (ne < 1) throw ConfigError("SessionConfig: ne must be >= 1");
+  if (radius <= 0.0) throw ConfigError("SessionConfig: radius must be > 0");
+  if (nlev < 1) throw ConfigError("SessionConfig: nlev must be >= 1");
+  if (qsize < 0) throw ConfigError("SessionConfig: qsize must be >= 0");
+  if (dt < 0.0) throw ConfigError("SessionConfig: dt must be >= 0");
+  if (remap_freq < 1) {
+    throw ConfigError("SessionConfig: remap_freq must be >= 1");
+  }
+  if (nranks < 1) throw ConfigError("SessionConfig: nranks must be >= 1");
+  if (nranks > 6 * ne * ne) {
+    throw ConfigError("SessionConfig: more ranks than elements (" +
+                      std::to_string(nranks) + " > " +
+                      std::to_string(6 * ne * ne) + ")");
+  }
+  if (moist && qsize < 1) {
+    throw ConfigError("SessionConfig: moist dynamics need tracer 0 "
+                      "(specific humidity); qsize must be >= 1");
+  }
+  if (physics && qsize < 1) {
+    throw ConfigError("SessionConfig: physics needs tracer 0 (specific "
+                      "humidity); qsize must be >= 1");
+  }
+  if (physics && nranks > 1) {
+    throw ConfigError("SessionConfig: physics is only supported on "
+                      "sequential sessions (nranks == 1)");
+  }
+  if (physics_dt < 0.0) {
+    throw ConfigError("SessionConfig: physics_dt must be >= 0");
+  }
+  if (checkpoint_freq < 0) {
+    throw ConfigError("SessionConfig: checkpoint_freq must be >= 0");
+  }
+  if (checkpoint_freq > 0 && checkpoint_base.empty()) {
+    throw ConfigError("SessionConfig: checkpoint cadence needs a "
+                      "checkpoint_base path");
+  }
+  if (watchdog_s < 0.0) {
+    throw ConfigError("SessionConfig: watchdog_s must be >= 0");
+  }
+}
+
+// -- MeshBundle --------------------------------------------------------------
+
+std::shared_ptr<const MeshBundle> MeshBundle::build(int ne, int nranks,
+                                                    double radius) {
+  auto b = std::make_shared<MeshBundle>();
+  b->mesh = mesh::CubedSphere::build(ne, radius);
+  b->partition = mesh::Partition::build(b->mesh, nranks);
+  b->plan = mesh::CommPlan::build(b->mesh, b->partition);
+  b->ne = ne;
+  b->nranks = nranks;
+  return b;
+}
+
+std::size_t MeshBundle::bytes() const {
+  std::size_t n = sizeof(MeshBundle);
+  const std::size_t nelem = static_cast<std::size_t>(mesh.nelem());
+  n += nelem * sizeof(mesh::ElementGeom);             // geom_
+  n += nelem * sizeof(std::array<int, mesh::kNpp>);   // nodes_
+  // node_elems_: one (elem, gidx) pair per GLL point of every element.
+  n += nelem * mesh::kNpp * sizeof(std::pair<int, int>);
+  n += partition.elem_rank.size() * sizeof(int);
+  for (const auto& re : partition.rank_elems) n += re.size() * sizeof(int);
+  for (const auto& neighbors : plan.per_rank) {
+    for (const auto& nb : neighbors) {
+      n += sizeof(nb) + nb.nodes.size() * sizeof(int);
+    }
+  }
+  return n;
+}
+
+// -- Session -----------------------------------------------------------------
+
+Session::Session(SessionConfig cfg)
+    : Session(std::move(cfg), nullptr) {}
+
+Session::Session(SessionConfig cfg, std::shared_ptr<const MeshBundle> bundle)
+    : cfg_(std::move(cfg)), bundle_(std::move(bundle)) {
+  cfg_.validate();
+  if (bundle_ == nullptr) {
+    bundle_ = MeshBundle::build(cfg_.ne, cfg_.nranks, cfg_.radius);
+  } else if (!bundle_->compatible(cfg_)) {
+    throw ConfigError("Session: mesh bundle is ne" +
+                      std::to_string(bundle_->ne) + "/" +
+                      std::to_string(bundle_->nranks) +
+                      " ranks, config wants ne" + std::to_string(cfg_.ne) +
+                      "/" + std::to_string(cfg_.nranks));
+  }
+  build();
+}
+
+Session::~Session() = default;
+
+void Session::build() {
+  dims_ = cfg_.dims();
+  tracer_ = std::make_unique<obs::Tracer>(cfg_.trace_domain);
+  tracer_->enable(cfg_.trace);
+
+  // Initial condition on the global mesh.
+  homme::State global;
+  switch (cfg_.init) {
+    case SessionConfig::Init::kBaroclinic:
+      global = homme::baroclinic(bundle_->mesh, dims_);
+      break;
+    case SessionConfig::Init::kSolidBody:
+      global = homme::solid_body_rotation(bundle_->mesh, dims_);
+      break;
+    case SessionConfig::Init::kIsothermalRest:
+      global = homme::isothermal_rest(bundle_->mesh, dims_);
+      break;
+  }
+  if (cfg_.init_tracers && cfg_.qsize > 0) {
+    homme::init_tracers(bundle_->mesh, dims_, global);
+  }
+
+  const homme::DycoreConfig dcfg = cfg_.dycore_config();
+  if (cfg_.nranks == 1) {
+    dycore_ = std::make_unique<homme::Dycore>(bundle_->mesh, dims_, dcfg);
+    dycore_->set_tracer(tracer_.get());
+    state_ = std::move(global);
+  } else {
+    cluster_ = std::make_unique<net::Cluster>(cfg_.nranks);
+    cluster_->set_fault_plan(cfg_.faults);
+    cluster_->set_watchdog(cfg_.watchdog_s);
+    cluster_->set_tracer(tracer_.get());
+    pds_.reserve(static_cast<std::size_t>(cfg_.nranks));
+    locals_.reserve(static_cast<std::size_t>(cfg_.nranks));
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      pds_.push_back(std::make_unique<homme::ParallelDycore>(
+          bundle_->mesh, bundle_->partition, bundle_->plan, dims_, dcfg, r,
+          cfg_.exchange));
+      pds_.back()->set_tracer(tracer_.get());
+      locals_.push_back(
+          homme::gather_local(bundle_->partition, r, global));
+    }
+  }
+
+  if (cfg_.backend == SessionConfig::Backend::kPipeline) {
+    if (cfg_.nranks == 1) {
+      accels_.push_back(std::make_unique<accel::PipelineAccelerator>(
+          bundle_->mesh, dims_));
+      accels_[0]->set_tracer(tracer_.get(), "accel");
+      accels_[0]->set_fault_plan(cfg_.faults);
+      dycore_->attach_accelerator(accels_[0].get());
+    } else {
+      for (int r = 0; r < cfg_.nranks; ++r) {
+        const auto& elems =
+            bundle_->partition.rank_elems[static_cast<std::size_t>(r)];
+        accels_.push_back(std::make_unique<accel::PipelineAccelerator>(
+            bundle_->mesh, dims_, elems));
+        accels_.back()->set_tracer(tracer_.get(),
+                                   "accel.r" + std::to_string(r), r);
+        accels_.back()->set_fault_plan(cfg_.faults);
+        pds_[static_cast<std::size_t>(r)]->attach_accelerator(
+            accels_.back().get());
+      }
+    }
+  }
+
+  if (cfg_.physics) {
+    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_);
+  }
+  if (cfg_.monitor) {
+    monitor_ = std::make_unique<homme::StateMonitor>(dims_);
+  }
+}
+
+double Session::dt() const {
+  return cfg_.nranks == 1 ? dycore_->dt() : pds_[0]->dt();
+}
+
+void Session::step_dynamics() {
+  if (cfg_.nranks == 1) {
+    dycore_->step(state_);
+    return;
+  }
+  cluster_->run([&](net::Rank& r) {
+    const auto i = static_cast<std::size_t>(r.rank());
+    pds_[i]->step(r, locals_[i]);
+    if (monitor_ != nullptr) {
+      if (auto why = monitor_->check(locals_[i])) {
+        throw ModelBlowup("rank " + std::to_string(r.rank()) + ": " + *why);
+      }
+    }
+  });
+}
+
+void Session::check_monitor() {
+  if (monitor_ == nullptr || cfg_.nranks > 1) return;  // parallel: per rank
+  if (auto why = monitor_->check(state_)) throw ModelBlowup(*why);
+}
+
+void Session::step() {
+  step_dynamics();
+  if (physics_ != nullptr) {
+    const double pdt = cfg_.physics_dt > 0.0 ? cfg_.physics_dt : dt();
+    phys_stats_ = physics_->step(state_, pdt);
+  }
+  ++step_count_;
+  check_monitor();
+}
+
+void Session::run(int n) {
+  for (int i = 0; i < n; ++i) {
+    step();
+    if (cfg_.checkpoint_freq > 0 &&
+        step_count_ % cfg_.checkpoint_freq == 0) {
+      save(cfg_.checkpoint_base);
+    }
+  }
+}
+
+homme::Diagnostics Session::diagnose() {
+  if (cfg_.nranks == 1) return dycore_->diagnose(state_);
+  homme::Diagnostics out;
+  std::mutex mu;
+  cluster_->run([&](net::Rank& r) {
+    const auto i = static_cast<std::size_t>(r.rank());
+    auto d = pds_[i]->diagnose(r, locals_[i]);
+    if (r.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      out = d;
+    }
+  });
+  return out;
+}
+
+homme::State Session::assemble() const {
+  homme::State global(static_cast<std::size_t>(bundle_->mesh.nelem()),
+                      homme::ElementState(dims_));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    homme::scatter_local(bundle_->partition, r,
+                         locals_[static_cast<std::size_t>(r)], global);
+  }
+  return global;
+}
+
+homme::State Session::state() const {
+  return cfg_.nranks == 1 ? state_ : assemble();
+}
+
+void Session::set_state(const homme::State& global) {
+  if (global.size() != static_cast<std::size_t>(bundle_->mesh.nelem())) {
+    throw ConfigError("Session::set_state: state has " +
+                      std::to_string(global.size()) + " elements, mesh has " +
+                      std::to_string(bundle_->mesh.nelem()));
+  }
+  if (cfg_.nranks == 1) {
+    state_ = global;
+    return;
+  }
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    locals_[static_cast<std::size_t>(r)] =
+        homme::gather_local(bundle_->partition, r, global);
+  }
+}
+
+void Session::save(const std::string& base) {
+  if (cfg_.nranks == 1) {
+    homme::CheckpointInfo info;
+    info.nelem = state_.size();
+    info.dims = dims_;
+    info.config = cfg_.dycore_config();
+    info.config.dt = dycore_->dt();  // the resolved (auto-picked) values
+    info.config.nu = dycore_->nu();
+    info.step_count = step_count_;
+    info.rng_seed = cfg_.faults != nullptr ? cfg_.faults->seed() : 0;
+    homme::save_checkpoint(homme::checkpoint_rank_path(base, 0), info,
+                           state_);
+    return;
+  }
+  cluster_->run([&](net::Rank& r) {
+    const auto i = static_cast<std::size_t>(r.rank());
+    pds_[i]->save(r, locals_[i], base,
+                  cfg_.faults != nullptr ? cfg_.faults->seed() : 0);
+  });
+}
+
+void Session::restore(const std::string& base) {
+  if (cfg_.nranks == 1) {
+    homme::State loaded;
+    const homme::CheckpointInfo info = homme::load_checkpoint(
+        homme::checkpoint_rank_path(base, 0), loaded);
+    if (info.dims.nlev != dims_.nlev || info.dims.qsize != dims_.qsize ||
+        info.dims.moist != dims_.moist) {
+      throw homme::CheckpointError(
+          "Session::restore: dims mismatch (file nlev=" +
+          std::to_string(info.dims.nlev) + " qsize=" +
+          std::to_string(info.dims.qsize) + ", session nlev=" +
+          std::to_string(dims_.nlev) + " qsize=" +
+          std::to_string(dims_.qsize) + ")");
+    }
+    if (info.nelem != state_.size()) {
+      throw homme::CheckpointError(
+          "Session::restore: element count mismatch (file has " +
+          std::to_string(info.nelem) + ", session owns " +
+          std::to_string(state_.size()) + ")");
+    }
+    if (info.config.dt != dycore_->dt() || info.config.nu != dycore_->nu() ||
+        info.config.remap_freq != cfg_.remap_freq) {
+      throw homme::CheckpointError(
+          "Session::restore: config mismatch (file dt=" +
+          std::to_string(info.config.dt) + " nu=" +
+          std::to_string(info.config.nu) + " remap_freq=" +
+          std::to_string(info.config.remap_freq) + ")");
+    }
+    state_ = std::move(loaded);
+    step_count_ = static_cast<int>(info.step_count);
+    dycore_->set_step_count(step_count_);
+    return;
+  }
+  cluster_->run([&](net::Rank& r) {
+    const auto i = static_cast<std::size_t>(r.rank());
+    pds_[i]->restore(r, locals_[i], base);
+  });
+  step_count_ = pds_[0]->step_count();
+}
+
+int Session::fallbacks() const {
+  int n = 0;
+  for (const auto& a : accels_) n += a->fallbacks();
+  return n;
+}
+
+homme::StepAccelerator* Session::accelerator(int rank) const {
+  const auto i = static_cast<std::size_t>(rank);
+  return i < accels_.size() ? accels_[i].get() : nullptr;
+}
+
+}  // namespace model

@@ -1,0 +1,262 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "homme/driver.hpp"
+#include "homme/parallel_driver.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "mesh/partition.hpp"
+#include "obs/trace.hpp"
+#include "physics/driver.hpp"
+#include "sw/fault.hpp"
+
+/// \file session.hpp
+/// model::Session — the one front door to a simulation.
+///
+/// Before this facade every driver (13 benches, the examples, any new
+/// workload) re-assembled the same parts by hand: build a mesh, build a
+/// partition and comm plan, pick Dycore vs ParallelDycore, construct a
+/// PipelineAccelerator with the right geom_map, wire the tracer into
+/// every layer, remember the checkpoint collective protocol. A Session
+/// subsumes that construction soup behind one SessionConfig: resolution,
+/// decomposition, exchange mode, accelerator backend, physics, fault
+/// plan and checkpoint cadence are *config values*, not different call
+/// sites. The svc:: ensemble engine runs many Sessions concurrently over
+/// shared immutable MeshBundles.
+
+namespace accel {
+class PipelineAccelerator;
+}
+namespace homme {
+class StateMonitor;
+}
+
+namespace model {
+
+/// A SessionConfig that cannot be realized (validate() / Session ctor).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// The state monitor flagged a physically impossible state after a step.
+class ModelBlowup : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything needed to build and drive one simulation. Builder-style:
+/// every setter returns *this, so configs compose inline:
+///   Session s(SessionConfig{}.with_ne(4).with_levels(8, 2)
+///                 .with_backend(SessionConfig::Backend::kPipeline));
+struct SessionConfig {
+  enum class Backend {
+    kHost,      ///< reference host implementation of every phase
+    kPipeline   ///< vertical remap offloaded to the accel:: CPE pipeline
+  };
+  enum class Init { kBaroclinic, kSolidBody, kIsothermalRest };
+
+  // -- resolution / dimensions ---------------------------------------------
+  int ne = 4;                      ///< cubed-sphere elements per face edge
+  double radius = mesh::kEarthRadius;
+  int nlev = 8;                    ///< vertical layers
+  int qsize = 2;                   ///< advected tracers
+  bool moist = false;
+
+  // -- dynamics (the former DycoreConfig fields) ---------------------------
+  double dt = 0.0;                 ///< s; 0 picks the stable dt for the mesh
+  int remap_freq = 3;
+  double nu = -1.0;                ///< <0: auto
+  bool limit_tracers = true;
+  bool hypervis_on = true;
+
+  // -- initial condition ----------------------------------------------------
+  Init init = Init::kBaroclinic;
+  bool init_tracers = true;        ///< fill tracers with the cosine bells
+
+  // -- decomposition / exchange --------------------------------------------
+  int nranks = 1;                  ///< 1: sequential Dycore; >1: mini-MPI
+  homme::BndryExchange::Mode exchange = homme::BndryExchange::Mode::kOverlap;
+  double watchdog_s = 0.0;         ///< net watchdog bound (parallel only)
+
+  // -- backend / physics ----------------------------------------------------
+  Backend backend = Backend::kHost;
+  bool physics = false;            ///< run the column physics each step
+  double physics_dt = 0.0;         ///< s; 0: same as the dynamics dt
+
+  // -- resilience -----------------------------------------------------------
+  sw::FaultPlan* faults = nullptr;  ///< injected kernel/message faults
+  int checkpoint_freq = 0;          ///< steps; 0 disables the cadence
+  std::string checkpoint_base;      ///< required when checkpoint_freq > 0
+  bool monitor = false;             ///< StateMonitor after every step
+
+  // -- observability --------------------------------------------------------
+  bool trace = false;              ///< enable the session's own tracer
+  obs::ClockDomain trace_domain = obs::ClockDomain::kVirtual;
+
+  // -- builder setters ------------------------------------------------------
+  SessionConfig& with_ne(int v) { ne = v; return *this; }
+  SessionConfig& with_radius(double v) { radius = v; return *this; }
+  SessionConfig& with_levels(int levels, int tracers) {
+    nlev = levels; qsize = tracers; return *this;
+  }
+  SessionConfig& with_moist(bool v = true) { moist = v; return *this; }
+  SessionConfig& with_dt(double v) { dt = v; return *this; }
+  SessionConfig& with_remap_freq(int v) { remap_freq = v; return *this; }
+  SessionConfig& with_nu(double v) { nu = v; return *this; }
+  SessionConfig& with_limiter(bool v) { limit_tracers = v; return *this; }
+  SessionConfig& with_hypervis(bool v) { hypervis_on = v; return *this; }
+  SessionConfig& with_init(Init v, bool tracers = true) {
+    init = v; init_tracers = tracers; return *this;
+  }
+  SessionConfig& with_ranks(int v) { nranks = v; return *this; }
+  SessionConfig& with_exchange(homme::BndryExchange::Mode v) {
+    exchange = v; return *this;
+  }
+  SessionConfig& with_watchdog(double seconds) {
+    watchdog_s = seconds; return *this;
+  }
+  SessionConfig& with_backend(Backend v) { backend = v; return *this; }
+  SessionConfig& with_physics(bool v = true, double dt_s = 0.0) {
+    physics = v; physics_dt = dt_s; return *this;
+  }
+  SessionConfig& with_faults(sw::FaultPlan* plan) {
+    faults = plan; return *this;
+  }
+  SessionConfig& with_checkpoints(std::string base, int freq) {
+    checkpoint_base = std::move(base); checkpoint_freq = freq; return *this;
+  }
+  SessionConfig& with_monitor(bool v = true) { monitor = v; return *this; }
+  SessionConfig& with_trace(bool v = true,
+                            obs::ClockDomain d = obs::ClockDomain::kVirtual) {
+    trace = v; trace_domain = d; return *this;
+  }
+
+  /// The dynamics sub-config this expands to.
+  homme::DycoreConfig dycore_config() const;
+  homme::Dims dims() const;
+
+  /// Throws ConfigError on the first unrealizable setting.
+  void validate() const;
+};
+
+/// The immutable per-resolution data every simulation of a (ne, nranks)
+/// shape shares: mesh topology + metric terms, SFC partition, comm plan.
+/// Build once, share via shared_ptr into every Session — an N-member
+/// ensemble pays for one copy (see MeshBundle::bytes).
+struct MeshBundle {
+  mesh::CubedSphere mesh;
+  mesh::Partition partition;
+  mesh::CommPlan plan;
+  int ne = 0;
+  int nranks = 1;
+
+  static std::shared_ptr<const MeshBundle> build(
+      int ne, int nranks = 1, double radius = mesh::kEarthRadius);
+
+  /// Approximate resident bytes of the bundle (mesh geometry dominates).
+  std::size_t bytes() const;
+
+  /// True when a config of this shape can share this bundle.
+  bool compatible(const SessionConfig& cfg) const {
+    return cfg.ne == ne && cfg.nranks == nranks;
+  }
+};
+
+/// One running simulation. Owns everything below the config line —
+/// dycore(s), cluster, accelerator(s), physics, tracer — and shares the
+/// immutable MeshBundle.
+class Session {
+ public:
+  /// Build from scratch (constructs a private MeshBundle).
+  explicit Session(SessionConfig cfg);
+  /// Share \p bundle (must satisfy bundle->compatible(cfg)).
+  Session(SessionConfig cfg, std::shared_ptr<const MeshBundle> bundle);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // -- driving --------------------------------------------------------------
+
+  /// One model step: dynamics, then physics when configured, then the
+  /// state monitor when configured (a violation throws ModelBlowup).
+  void step();
+  /// \p n steps, honoring the checkpoint cadence.
+  void run(int n);
+
+  /// Conservation / sanity diagnostics (collective in parallel mode).
+  homme::Diagnostics diagnose();
+
+  // -- state ----------------------------------------------------------------
+
+  /// Assembled global state (mesh element order), by value.
+  homme::State state() const;
+  /// Replace the model state (re-gathers rank-local views).
+  void set_state(const homme::State& global);
+
+  // -- resilience -----------------------------------------------------------
+
+  /// Checkpoint to "<base>.r<rank>" (every rank in parallel mode).
+  void save(const std::string& base);
+  /// Bit-identical inverse of save(); realigns the remap cadence.
+  void restore(const std::string& base);
+
+  // -- introspection --------------------------------------------------------
+
+  const SessionConfig& config() const { return cfg_; }
+  int step_count() const { return step_count_; }
+  double dt() const;
+  const mesh::CubedSphere& mesh() const { return bundle_->mesh; }
+  const MeshBundle& bundle() const { return *bundle_; }
+  std::shared_ptr<const MeshBundle> bundle_ptr() const { return bundle_; }
+  const homme::Dims& dims() const { return dims_; }
+
+  /// Accelerator launches redone on the host after an injected fault,
+  /// summed over ranks (0 on the host backend).
+  int fallbacks() const;
+  /// The accelerator behind \p rank's dycore (nullptr on the host
+  /// backend) — an escape hatch for benches that time a single phase.
+  homme::StepAccelerator* accelerator(int rank = 0) const;
+
+  /// Physics diagnostics of the most recent step (physics mode only).
+  const phys::PhysicsStats& physics_stats() const { return phys_stats_; }
+
+  /// The session's own tracer: every layer (dycore, exchange, net,
+  /// accelerator, core group) reports into it when cfg.trace is set.
+  obs::Tracer& tracer() { return *tracer_; }
+  obs::Summary summary() const { return tracer_->summary(); }
+
+ private:
+  void build();
+  void step_dynamics();
+  void check_monitor();
+  homme::State assemble() const;
+
+  SessionConfig cfg_;
+  std::shared_ptr<const MeshBundle> bundle_;
+  homme::Dims dims_;
+  int step_count_ = 0;
+
+  std::unique_ptr<obs::Tracer> tracer_;
+
+  // Sequential mode (nranks == 1).
+  std::unique_ptr<homme::Dycore> dycore_;
+  homme::State state_;
+
+  // Parallel mode (nranks > 1): one dycore + local state per rank.
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<std::unique_ptr<homme::ParallelDycore>> pds_;
+  std::vector<homme::State> locals_;
+
+  // Backend / physics (accels_ is one per rank; empty on kHost).
+  std::vector<std::unique_ptr<accel::PipelineAccelerator>> accels_;
+  std::unique_ptr<phys::PhysicsDriver> physics_;
+  phys::PhysicsStats phys_stats_;
+  std::unique_ptr<homme::StateMonitor> monitor_;
+};
+
+}  // namespace model

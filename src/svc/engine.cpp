@@ -1,0 +1,313 @@
+#include "svc/engine.hpp"
+
+#include "homme/checkpoint.hpp"
+
+namespace svc {
+
+namespace {
+
+const char* backend_name(model::SessionConfig::Backend b) {
+  return b == model::SessionConfig::Backend::kPipeline ? "pipeline" : "host";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// CRC32 digest of the member's final state — equal configs must produce
+/// equal digests regardless of worker count or submission order. Hashes
+/// the raw field arrays, NOT the serialized checkpoint image: that format
+/// follows every block with the block's own CRC-32, and by CRC linearity
+/// a whole-stream CRC over block||crc(block) pairs cancels the block
+/// contents entirely (every image of one shape hashes alike).
+std::uint32_t state_digest(const model::Session& session) {
+  const homme::State state = session.state();
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(state.size() * 6 + 2);
+  auto add = [&crcs](const std::vector<double>& v) {
+    crcs.push_back(homme::crc32(v.data(), v.size() * sizeof(double)));
+  };
+  for (const auto& e : state) {
+    add(e.u1);
+    add(e.u2);
+    add(e.T);
+    add(e.dp);
+    add(e.qdp);
+    add(e.phis);
+  }
+  crcs.push_back(static_cast<std::uint32_t>(state.size()));
+  crcs.push_back(static_cast<std::uint32_t>(session.step_count()));
+  return homme::crc32(crcs.data(), crcs.size() * sizeof(std::uint32_t));
+}
+
+}  // namespace
+
+std::string_view to_string(RunState s) {
+  switch (s) {
+    case RunState::kQueued: return "queued";
+    case RunState::kRunning: return "running";
+    case RunState::kCompleted: return "completed";
+    case RunState::kFaulted: return "faulted";
+    case RunState::kCancelled: return "cancelled";
+    case RunState::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+// -- RunHandle ---------------------------------------------------------------
+
+void RunHandle::cancel() {
+  cancel_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == RunState::kQueued) {
+    state_ = RunState::kCancelled;
+    result_.state = RunState::kCancelled;
+    result_.error = "cancelled before execution";
+    cv_.notify_all();
+  }
+}
+
+const RunResult& RunHandle::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return is_terminal(state_); });
+  return result_;
+}
+
+bool RunHandle::begin_running(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != RunState::kQueued) return false;
+  state_ = RunState::kRunning;
+  result_.worker = worker;
+  return true;
+}
+
+void RunHandle::finish(RunResult res) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_ = std::move(res);
+  state_ = result_.state;
+  cv_.notify_all();
+}
+
+// -- Engine ------------------------------------------------------------------
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (cfg_.workers < 1) {
+    throw model::ConfigError("EngineConfig: workers must be >= 1");
+  }
+  if (cfg_.queue_capacity < 1) {
+    throw model::ConfigError("EngineConfig: queue_capacity must be >= 1");
+  }
+  counters_.workers = cfg_.workers;
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Engine::~Engine() { shutdown(/*drain=*/true); }
+
+std::shared_ptr<const model::MeshBundle> Engine::bundle(int ne, int nranks) {
+  const auto key = std::make_pair(ne, nranks);
+  {
+    std::lock_guard<std::mutex> lock(bundles_mu_);
+    auto it = bundles_.find(key);
+    if (it != bundles_.end()) return it->second;
+  }
+  // Build outside the lock (construction is the expensive part), then
+  // keep whichever copy won the race so every member shares one.
+  auto built = model::MeshBundle::build(ne, nranks);
+  std::lock_guard<std::mutex> lock(bundles_mu_);
+  auto [it, inserted] = bundles_.emplace(key, std::move(built));
+  return it->second;
+}
+
+RunTicket Engine::submit(RunRequest req) {
+  req.config.validate();
+  if (req.steps < 0) {
+    throw model::ConfigError("RunRequest: steps must be >= 0");
+  }
+  Job job;
+  job.handle = RunTicket(new RunHandle(
+      next_id_.fetch_add(1, std::memory_order_relaxed)));
+  job.bundle = bundle(req.config.ne, req.config.nranks);
+  {
+    std::lock_guard<std::mutex> lock(bundles_mu_);
+    bytes_unshared_ += job.bundle->bytes();
+  }
+  job.request = std::move(req);
+  job.submitted = std::chrono::steady_clock::now();
+  RunTicket ticket = job.handle;
+
+  const int priority = job.request.priority;
+  const auto pushed = queue_.push(std::move(job), priority,
+                                  /*block=*/!cfg_.reject_when_full);
+  if (pushed == BoundedQueue<Job>::Push::kClosed) {
+    throw std::runtime_error("svc::Engine: submit after shutdown");
+  }
+  if (pushed == BoundedQueue<Job>::Push::kFull) {
+    throw QueueFull("svc::Engine: submission queue is full (" +
+                    std::to_string(queue_.capacity()) + " pending)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.submitted;
+  }
+  return ticket;
+}
+
+void Engine::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  if (!drain) discard_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Engine::worker_loop(int worker) {
+  while (auto job = queue_.pop()) {
+    if (discard_.load(std::memory_order_relaxed)) {
+      job->handle->cancel();
+    }
+    if (!job->handle->begin_running(worker)) {
+      // Cancelled while queued: the handle is already terminal.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.cancelled;
+      continue;
+    }
+    execute(*job, worker);
+  }
+}
+
+void Engine::execute(Job& job, int worker) {
+  const RunRequest& req = job.request;
+  RunHandle& h = *job.handle;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.worker = worker;
+  res.queue_wait_s =
+      std::chrono::duration<double>(t0 - job.submitted).count();
+  res.state = RunState::kCompleted;
+
+  try {
+    model::Session session(req.config, job.bundle);
+    for (int i = 0; i < req.steps; ++i) {
+      if (h.cancel_requested()) {
+        res.state = RunState::kCancelled;
+        break;
+      }
+      if (req.deadline_s > 0.0 &&
+          seconds_since(job.submitted) > req.deadline_s) {
+        res.state = RunState::kDeadline;
+        break;
+      }
+      session.step();
+      ++res.steps_done;
+      if (req.step_stall_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(req.step_stall_s));
+      }
+    }
+    res.fallbacks = session.fallbacks();
+    res.state_crc = state_digest(session);
+    if (res.state == RunState::kCompleted) {
+      res.diagnostics = session.diagnose();
+    }
+    if (req.keep_state) res.final_state = session.state();
+    if (req.config.trace) res.report.add_summary(session.summary());
+  } catch (const std::exception& e) {
+    res.state = RunState::kFaulted;
+    res.error = e.what();
+  }
+  res.wall_s = seconds_since(t0);
+
+  res.report.config()
+      .set("ne", req.config.ne)
+      .set("nlev", req.config.nlev)
+      .set("qsize", req.config.qsize)
+      .set("nranks", req.config.nranks)
+      .set("backend", backend_name(req.config.backend))
+      .set("steps", req.steps)
+      .set("priority", req.priority);
+  res.report.root()
+      .set("id", h.id())
+      .set("state", to_string(res.state))
+      .set("error", res.error)
+      .set("steps_done", res.steps_done)
+      .set("wall_s", res.wall_s)
+      .set("queue_wait_s", res.queue_wait_s)
+      .set("worker", res.worker)
+      .set("fallbacks", res.fallbacks)
+      .set("state_crc", static_cast<std::uint64_t>(res.state_crc));
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.member_steps += static_cast<std::uint64_t>(res.steps_done);
+    counters_.busy_s += res.wall_s;
+    switch (res.state) {
+      case RunState::kCompleted: ++counters_.completed; break;
+      case RunState::kFaulted: ++counters_.faulted; break;
+      case RunState::kCancelled: ++counters_.cancelled; break;
+      case RunState::kDeadline: ++counters_.deadline; break;
+      default: break;
+    }
+  }
+  h.finish(std::move(res));
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = counters_;
+  }
+  out.wall_s = seconds_since(epoch_);
+  out.queue_depth = queue_.depth();
+  out.queue_high_water = queue_.high_water();
+  {
+    std::lock_guard<std::mutex> lock(bundles_mu_);
+    out.mesh_bundles = bundles_.size();
+    for (const auto& [key, b] : bundles_) out.mesh_bundle_bytes += b->bytes();
+    out.mesh_bytes_unshared = bytes_unshared_;
+  }
+  return out;
+}
+
+obs::Report Engine::summary_report() const {
+  const EngineStats s = stats();
+  obs::Report rep("svc_engine");
+  rep.config()
+      .set("workers", cfg_.workers)
+      .set("queue_capacity", static_cast<std::uint64_t>(cfg_.queue_capacity))
+      .set("reject_when_full", cfg_.reject_when_full);
+  rep.root()
+      .set("submitted", s.submitted)
+      .set("completed", s.completed)
+      .set("faulted", s.faulted)
+      .set("cancelled", s.cancelled)
+      .set("deadline", s.deadline)
+      .set("member_steps", s.member_steps)
+      .set("wall_s", s.wall_s)
+      .set("busy_s", s.busy_s)
+      .set("member_steps_per_s", s.member_steps_per_s())
+      .set("worker_utilization", s.utilization())
+      .set("queue_depth", static_cast<std::uint64_t>(s.queue_depth))
+      .set("queue_high_water",
+           static_cast<std::uint64_t>(s.queue_high_water))
+      .set("mesh_bundles", static_cast<std::uint64_t>(s.mesh_bundles))
+      .set("mesh_bundle_bytes",
+           static_cast<std::uint64_t>(s.mesh_bundle_bytes))
+      .set("mesh_bytes_unshared",
+           static_cast<std::uint64_t>(s.mesh_bytes_unshared));
+  return rep;
+}
+
+}  // namespace svc

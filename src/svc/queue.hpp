@@ -1,0 +1,105 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+/// \file queue.hpp
+/// The engine's bounded submission queue: priority-ordered (higher
+/// priority first, FIFO within a priority), with backpressure — push
+/// either blocks until a slot frees or reports kFull, per caller choice.
+/// close() drains: pending items are still popped, then every popper
+/// sees nullopt. All operations are thread safe; the engine's workers
+/// and submitters share one instance.
+
+namespace svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class Push { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue \p item. With \p block, waits for a slot while the queue is
+  /// full; otherwise returns kFull immediately. kClosed after close().
+  Push push(T item, int priority = 0, bool block = true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (block) {
+      space_cv_.wait(lock,
+                     [&] { return closed_ || heap_.size() < capacity_; });
+    }
+    if (closed_) return Push::kClosed;
+    if (heap_.size() >= capacity_) return Push::kFull;
+    heap_.push(Entry{priority, seq_++, std::move(item)});
+    high_water_ = std::max(high_water_, heap_.size());
+    item_cv_.notify_one();
+    return Push::kOk;
+  }
+
+  /// Dequeue the highest-priority item, blocking while empty. nullopt
+  /// once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return std::nullopt;
+    // priority_queue::top is const; the entry is moved out via const_cast,
+    // which is safe because pop() removes it immediately.
+    T item = std::move(const_cast<Entry&>(heap_.top()).item);
+    heap_.pop();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// No further pushes; poppers drain what is queued, then see nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return heap_.size();
+  }
+  /// Deepest the queue has ever been (backpressure telemetry).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;
+    T item;
+  };
+  struct Order {
+    // std::priority_queue surfaces the *largest* element: higher priority
+    // wins, earlier sequence breaks ties (FIFO within a priority).
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Order> heap_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace svc

@@ -10,9 +10,15 @@ Checks, beyond plain JSON validity:
   - instant events carry the scope field "s"
   - counter args, when present, are an object of numbers
 
+With --report, the arguments that follow are validated as obs::Report
+documents instead: a JSON object with a "bench" string and a "config"
+object; a "phases" array, when present, must hold per-phase summary rows
+(name/count/total_us/max_us/self_us with the right types).
+
 Exit status is nonzero on the first violation, so CI can gate on it.
 
-Usage: validate_trace.py <trace.json> [<trace.json> ...]
+Usage: validate_trace.py [--report] <file.json> [<file.json> ...]
+       validate_trace.py <trace.json> ... --report <report.json> ...
 """
 
 import json
@@ -89,13 +95,59 @@ def validate(path):
     return 0
 
 
+PHASE_FIELDS = {
+    "name": str,
+    "count": int,
+    "total_us": (int, float),
+    "max_us": (int, float),
+    "self_us": (int, float),
+}
+
+
+def validate_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, 'report needs a non-empty "bench" string')
+    if not isinstance(doc.get("config"), dict):
+        return fail(path, 'report needs a "config" object')
+
+    phases = doc.get("phases", [])
+    if not isinstance(phases, list):
+        return fail(path, '"phases" must be a list when present')
+    for i, p in enumerate(phases):
+        where = f"phases[{i}]"
+        if not isinstance(p, dict):
+            return fail(path, f"{where}: phase row is not an object")
+        for key, ty in PHASE_FIELDS.items():
+            if key not in p:
+                return fail(path, f"{where}: missing {key!r}")
+            if not isinstance(p[key], ty) or isinstance(p[key], bool):
+                return fail(path, f"{where}: {key!r} has the wrong type")
+        if p["count"] < 0 or p["total_us"] < 0:
+            return fail(path, f"{where}: negative count/total_us")
+
+    print(f"{path}: OK (report {doc['bench']!r}, {len(phases)} phases)")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     rc = 0
-    for path in argv[1:]:
-        rc |= validate(path)
+    as_report = False
+    for arg in argv[1:]:
+        if arg == "--report":
+            as_report = True
+            continue
+        rc |= validate_report(arg) if as_report else validate(arg)
     return rc
 
 
