@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -18,6 +20,13 @@
 ///   --workers <n>    engine worker-pool size (ensemble benches)
 ///   --members <n>    ensemble member count
 ///   --latency-us <n> modeled per-step coupler/ingest stall, microseconds
+///
+/// Parsing is strict: a flag with a missing, non-numeric, trailing-junk or
+/// below-minimum value aborts with a message on stderr (exit 2) instead of
+/// the old atoi behaviour, where "--steps abc" silently became the bench
+/// default and "--ne 4x" silently became 4. The unset sentinel is -1
+/// everywhere, and every _or accessor tests `>= 0`, so an explicit
+/// "--steps 0" now really means zero steps rather than "use the default".
 
 namespace bench {
 
@@ -31,13 +40,13 @@ struct BenchOptions {
   int members = -1;        ///< --members; -1 = bench default
   int latency_us = -1;     ///< --latency-us; -1 = bench default
 
-  int steps_or(int fallback) const { return steps > 0 ? steps : fallback; }
-  int ne_or(int fallback) const { return ne > 0 ? ne : fallback; }
+  int steps_or(int fallback) const { return steps >= 0 ? steps : fallback; }
+  int ne_or(int fallback) const { return ne >= 0 ? ne : fallback; }
   int workers_or(int fallback) const {
-    return workers > 0 ? workers : fallback;
+    return workers >= 0 ? workers : fallback;
   }
   int members_or(int fallback) const {
-    return members > 0 ? members : fallback;
+    return members >= 0 ? members : fallback;
   }
   int latency_us_or(int fallback) const {
     return latency_us >= 0 ? latency_us : fallback;
@@ -52,21 +61,35 @@ struct BenchOptions {
     opts.trace_path = cli.trace_path;
     opts.small = cli.small;
 
-    auto take_int = [&](const char* flag, int& out) {
+    auto die = [](const char* flag, const char* what, const char* got) {
+      std::fprintf(stderr, "bench: %s %s (got \"%s\")\n", flag, what, got);
+      std::exit(2);
+    };
+    auto take_int = [&](const char* flag, int& out, long min_value) {
       for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-          out = std::atoi(argv[i + 1]);
-          for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-          argc -= 2;
-          return;
+        if (std::strcmp(argv[i], flag) != 0) continue;
+        if (i + 1 >= argc) die(flag, "requires a value", "");
+        const char* text = argv[i + 1];
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0') {
+          die(flag, "expects an integer", text);
         }
+        if (errno == ERANGE || v < min_value || v > 1000000000L) {
+          die(flag, "value out of range", text);
+        }
+        out = static_cast<int>(v);
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return;
       }
     };
-    take_int("--steps", opts.steps);
-    take_int("--ne", opts.ne);
-    take_int("--workers", opts.workers);
-    take_int("--members", opts.members);
-    take_int("--latency-us", opts.latency_us);
+    take_int("--steps", opts.steps, 0);
+    take_int("--ne", opts.ne, 1);
+    take_int("--workers", opts.workers, 1);
+    take_int("--members", opts.members, 1);
+    take_int("--latency-us", opts.latency_us, 0);
     return opts;
   }
 };

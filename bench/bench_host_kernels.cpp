@@ -1,0 +1,286 @@
+// Host dycore kernel bench: the vectorized/arena rewrite (homme::*) vs
+// the frozen scalar reference path (homme::ref::*, per-call heap
+// temporaries and all) on identical states.
+//
+// Three rows, matching the shapes the rewrite targets:
+//   column_scans          pressure / geopotential / omega vertical scans
+//   compute_and_apply_rhs element_rhs + state update + DSS (Table 1's
+//                         biggest host kernel)
+//   vertical_remap        cumulative-mass remap of the full state
+//
+// Each row reports both wall times, the speedup, achieved GFLOP/s of the
+// vectorized path (analytic flop counts of the scalar op sequence) and
+// main-array bytes touched per point — the arithmetic-intensity numbers
+// DESIGN.md section 11 quotes.
+//
+// Flags (extracted before google-benchmark sees argv):
+//   --json <path>  per-kernel numbers as machine-readable JSON
+//   --small        CI smoke size (ne=2, nlev=32)
+//   --ne/--steps   override mesh resolution / timing repetitions
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "homme/driver.hpp"
+#include "homme/init.hpp"
+#include "homme/ref_kernels.hpp"
+#include "homme/remap.hpp"
+#include "homme/rhs.hpp"
+#include "homme/vpack.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using homme::Dims;
+using homme::fidx;
+using mesh::kNpp;
+
+int g_ne = 4;
+int g_nlev = 64;
+int g_steps = 20;
+
+struct Row {
+  std::string name;
+  double scalar_s = 0.0;      ///< per invocation, reference path
+  double vector_s = 0.0;      ///< per invocation, rewritten path
+  double flops_per_point = 0.0;
+  double bytes_per_point = 0.0;
+  double max_rel_err = 0.0;   ///< rewrite vs reference on identical input
+  std::size_t points = 0;     ///< nelem * nlev * kNpp
+  double speedup() const { return scalar_s / vector_s; }
+  double gflops() const {
+    return flops_per_point * static_cast<double>(points) / vector_s / 1e9;
+  }
+};
+
+template <class F>
+double time_loop(int iters, F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / iters;
+}
+
+double max_rel_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1e-300});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+double max_rel_diff_state(const homme::State& a, const homme::State& b,
+                          const Dims& d) {
+  double worst = 0.0;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    worst = std::max(worst, max_rel_diff(a[e].u1, b[e].u1));
+    worst = std::max(worst, max_rel_diff(a[e].u2, b[e].u2));
+    worst = std::max(worst, max_rel_diff(a[e].T, b[e].T));
+    worst = std::max(worst, max_rel_diff(a[e].dp, b[e].dp));
+    for (int q = 0; q < d.qsize; ++q) {
+      worst = std::max(worst, max_rel_diff(a[e].q(q, d), b[e].q(q, d)));
+    }
+  }
+  return worst;
+}
+
+std::vector<Row> run_rows() {
+  auto m = mesh::CubedSphere::build(g_ne, mesh::kEarthRadius);
+  Dims d;
+  d.nlev = g_nlev;
+  d.qsize = 2;
+  d.moist = true;
+  const std::size_t fs = d.field_size();
+  const std::size_t points = static_cast<std::size_t>(m.nelem()) * fs;
+  auto s = homme::solid_body_rotation(m, d, 40.0);
+  homme::init_tracers(m, d, s);
+  const double dt = homme::Dycore::stable_dt(m);
+
+  std::vector<Row> rows;
+
+  {
+    // -- column scans: pressure down, geopotential up, omega down --------
+    Row r;
+    r.name = "column_scans";
+    r.points = points;
+    // ~3 (pressure) + 7 (geopotential) + 4 (omega) flops per point.
+    r.flops_per_point = 14.0;
+    // Reads dp, T, divdp; writes p_mid, phi_mid, omega. 6 doubles/point.
+    r.bytes_per_point = 48.0;
+    std::vector<double> p_ref(fs), phi_ref(fs), om_ref(fs);
+    std::vector<double> p_new(fs), phi_new(fs), om_new(fs);
+    const auto& es = s[0];
+    auto scans_ref = [&] {
+      for (int e = 0; e < m.nelem(); ++e) {
+        const auto& el = s[static_cast<std::size_t>(e)];
+        homme::ref::column_pressure(d.nlev, el.dp.data(), p_ref.data());
+        homme::ref::column_geopotential(d.nlev, el.T.data(), el.dp.data(),
+                                        p_ref.data(), el.phis.data(),
+                                        phi_ref.data());
+        homme::ref::column_omega(d.nlev, el.dp.data(), om_ref.data());
+      }
+    };
+    auto scans_new = [&] {
+      for (int e = 0; e < m.nelem(); ++e) {
+        const auto& el = s[static_cast<std::size_t>(e)];
+        homme::column_pressure(d.nlev, el.dp.data(), p_new.data());
+        homme::column_geopotential(d.nlev, el.T.data(), el.dp.data(),
+                                   p_new.data(), el.phis.data(),
+                                   phi_new.data());
+        homme::column_omega(d.nlev, el.dp.data(), om_new.data());
+      }
+    };
+    homme::ref::column_pressure(d.nlev, es.dp.data(), p_ref.data());
+    homme::ref::column_geopotential(d.nlev, es.T.data(), es.dp.data(),
+                                    p_ref.data(), es.phis.data(),
+                                    phi_ref.data());
+    homme::ref::column_omega(d.nlev, es.dp.data(), om_ref.data());
+    homme::column_pressure(d.nlev, es.dp.data(), p_new.data());
+    homme::column_geopotential(d.nlev, es.T.data(), es.dp.data(),
+                               p_new.data(), es.phis.data(), phi_new.data());
+    homme::column_omega(d.nlev, es.dp.data(), om_new.data());
+    r.max_rel_err = std::max({max_rel_diff(p_ref, p_new),
+                              max_rel_diff(phi_ref, phi_new),
+                              max_rel_diff(om_ref, om_new)});
+    r.scalar_s = time_loop(g_steps, scans_ref);
+    r.vector_s = time_loop(g_steps, scans_new);
+    rows.push_back(r);
+  }
+
+  {
+    // -- compute_and_apply_rhs (element_rhs + update + DSS) --------------
+    Row r;
+    r.name = "compute_and_apply_rhs";
+    r.points = points;
+    // Analytic count of the scalar op sequence per point per level:
+    // vorticity ~20, energy/absvort ~12, three gradients ~54, coriolis
+    // ~8, flux+divergence ~22, tendencies ~19, scans + omega corr ~20.
+    r.flops_per_point = 155.0;
+    // Reads u1,u2,T,dp (+q for Tv); writes 4 tendencies + 4 updated
+    // fields; scratch p/phi/divdp/omega round trips: ~17 doubles/point.
+    r.bytes_per_point = 136.0;
+    homme::State out_ref(s.size(), homme::ElementState(d));
+    homme::State out_new(s.size(), homme::ElementState(d));
+    homme::ref::compute_and_apply_rhs(m, d, s, s, dt, out_ref);
+    homme::compute_and_apply_rhs(m, d, s, s, dt, out_new);
+    r.max_rel_err = max_rel_diff_state(out_ref, out_new, d);
+    r.scalar_s = time_loop(g_steps, [&] {
+      homme::ref::compute_and_apply_rhs(m, d, s, s, dt, out_ref);
+    });
+    r.vector_s = time_loop(g_steps, [&] {
+      homme::compute_and_apply_rhs(m, d, s, s, dt, out_new);
+    });
+    rows.push_back(r);
+  }
+
+  {
+    // -- vertical remap of the full state --------------------------------
+    Row r;
+    r.name = "vertical_remap";
+    r.points = points;
+    // Cumulative-mass scans, monotone slopes and one Hermite eval (with
+    // binary search) per point for u1,u2,T and each tracer: ~60/pt.
+    r.flops_per_point = 60.0;
+    // u1,u2,T,dp + qsize tracers read and written: 2*(4+qsize)*8.
+    r.bytes_per_point = 2.0 * (4.0 + d.qsize) * 8.0;
+    homme::State a = s, b = s;
+    homme::ref::vertical_remap_local(d, a);
+    homme::vertical_remap_local(d, b);
+    r.max_rel_err = max_rel_diff_state(a, b, d);
+    // Remapping an already-remapped state is a valid (near-identity)
+    // remap, so the timing loops reuse one working copy.
+    r.scalar_s =
+        time_loop(g_steps, [&] { homme::ref::vertical_remap_local(d, a); });
+    r.vector_s =
+        time_loop(g_steps, [&] { homme::vertical_remap_local(d, b); });
+    rows.push_back(r);
+  }
+
+  return rows;
+}
+
+const std::vector<Row>& rows() {
+  static const auto r = run_rows();
+  return r;
+}
+
+void print_table() {
+  std::printf(
+      "\n=== Host kernels: scalar reference vs vectorized/arena path "
+      "(ne=%d, nlev=%d, vpack width %d) ===\n",
+      g_ne, g_nlev, homme::kVpackWidth);
+  std::printf("%-24s %12s %12s %8s %9s %8s %10s\n", "kernel", "scalar_s",
+              "vector_s", "speedup", "GFLOP/s", "B/pt", "max_rel");
+  for (const auto& r : rows()) {
+    std::printf("%-24s %12.3e %12.3e %7.2fx %9.2f %8.0f %10.2e\n",
+                r.name.c_str(), r.scalar_s, r.vector_s, r.speedup(),
+                r.gflops(), r.bytes_per_point, r.max_rel_err);
+  }
+  std::printf("\n");
+}
+
+bool write_json(const std::string& path) {
+  obs::Report rep("host_kernels");
+  rep.config()
+      .set("ne", g_ne)
+      .set("nlev", g_nlev)
+      .set("qsize", 2)
+      .set("steps", g_steps)
+      .set("vpack_width", homme::kVpackWidth);
+  obs::Json& kernels = rep.root().arr("kernels");
+  for (const auto& r : rows()) {
+    kernels.push()
+        .set("name", r.name)
+        .set("scalar_s", r.scalar_s)
+        .set("vector_s", r.vector_s)
+        .set("speedup", r.speedup())
+        .set("gflops", r.gflops())
+        .set("flops_per_point", r.flops_per_point)
+        .set("bytes_per_point", r.bytes_per_point)
+        .set("max_rel_err", r.max_rel_err)
+        .set("points", static_cast<std::uint64_t>(r.points));
+  }
+  return rep.write(path);
+}
+
+void register_benchmarks() {
+  for (const auto& r : rows()) {
+    for (auto [path, secs] : {std::pair{"scalar", r.scalar_s},
+                              std::pair{"vector", r.vector_s}}) {
+      auto* b = benchmark::RegisterBenchmark(
+          (r.name + "/" + path).c_str(), [secs](benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(secs);
+            }
+          });
+      b->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  if (opts.small) {
+    g_ne = 2;
+    g_nlev = 32;
+    g_steps = 5;
+  }
+  g_ne = opts.ne_or(g_ne);
+  g_steps = opts.steps_or(g_steps);
+  print_table();
+  if (!opts.json_path.empty() && !write_json(opts.json_path)) return 1;
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "homme/ops.hpp"
+#include "homme/scratch.hpp"
 #include "homme/state.hpp"
 
 namespace homme {
@@ -223,17 +224,25 @@ void BndryExchange::dss_vector_levels(net::Rank& r,
                                       Mode mode) {
   const std::size_t n = local_elems_.size();
   const std::size_t fs = static_cast<std::size_t>(nlev) * kNpp;
-  std::vector<std::vector<double>> cx(n), cy(n), cz(n);
-  std::vector<double*> px(n), py(n), pz(n);
+  // Cartesian component scratch from the per-thread arena (the rank-level
+  // node accumulator is the node_acc_ member, not arena storage).
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  if (arena.capacity() < 3 * n * fs || arena.ptr_capacity() < 3 * n) {
+    arena.require(3 * n * fs, 3 * n);
+  }
+  ScratchArena::Frame frame(arena);
+  std::span<double> cx = arena.alloc(n * fs), cy = arena.alloc(n * fs),
+                    cz = arena.alloc(n * fs);
+  std::span<double*> px = arena.alloc_ptrs(n), py = arena.alloc_ptrs(n),
+                     pz = arena.alloc_ptrs(n);
+  for (std::size_t le = 0; le < n; ++le) {
+    px[le] = cx.data() + le * fs;
+    py[le] = cy.data() + le * fs;
+    pz[le] = cz.data() + le * fs;
+  }
   {
     obs::ScopedSpan span(trk_, "bndry:rotate");
     for (std::size_t le = 0; le < n; ++le) {
-      cx[le].resize(fs);
-      cy[le].resize(fs);
-      cz[le].resize(fs);
-      px[le] = cx[le].data();
-      py[le] = cy[le].data();
-      pz[le] = cz[le].data();
       const auto& g = mesh_.geom(local_elems_[le]);
       for (int lev = 0; lev < nlev; ++lev) {
         contra_to_cart(g, u1[le] + fidx(lev, 0), u2[le] + fidx(lev, 0),

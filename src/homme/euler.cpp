@@ -1,9 +1,11 @@
 #include "homme/euler.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "homme/dss.hpp"
 #include "homme/ops.hpp"
+#include "homme/scratch.hpp"
+#include "homme/vpack.hpp"
 
 namespace homme {
 
@@ -17,13 +19,17 @@ void element_tracer_rhs(const mesh::ElementGeom& g, const Dims& d,
     const double* u1 = es.u1.data() + fidx(lev, 0);
     const double* u2 = es.u2.data() + fidx(lev, 0);
     const double* q = qdp.data() + fidx(lev, 0);
-    for (int k = 0; k < kNpp; ++k) {
-      f1[k] = u1[k] * q[k];
-      f2[k] = u2[k] * q[k];
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack vq = vpack::load(q + k);
+      (vpack::load(u1 + k) * vq).store(f1 + k);
+      (vpack::load(u2 + k) * vq).store(f2 + k);
     }
-    divergence_sphere(g, f1, f2, rhs.data() + fidx(lev, 0));
-    for (int k = 0; k < kNpp; ++k) {
-      rhs[fidx(lev, k)] = -rhs[fidx(lev, k)];
+    double* r = rhs.data() + fidx(lev, 0);
+    divergence_sphere(g, f1, f2, r);
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      (-vpack::load(r + k)).store(r + k);
     }
   }
 }
@@ -57,29 +63,30 @@ void positivity_limiter(const mesh::ElementGeom& g, int nlev,
 void euler_step(const mesh::CubedSphere& m, const Dims& d, State& s,
                 double dt, bool limit) {
   const int nelem = m.nelem();
+  const std::size_t ne = static_cast<std::size_t>(nelem);
   const std::size_t fs = d.field_size();
 
-  // Per-tracer stage buffers (q0 = start of step, qs = working stage).
-  std::vector<std::vector<double>> q0(static_cast<std::size_t>(nelem)),
-      qs(static_cast<std::size_t>(nelem)),
-      rhs(static_cast<std::size_t>(nelem));
-  for (int e = 0; e < nelem; ++e) {
-    q0[static_cast<std::size_t>(e)].resize(fs);
-    qs[static_cast<std::size_t>(e)].resize(fs);
-    rhs[static_cast<std::size_t>(e)].resize(fs);
+  // Per-tracer stage buffers (q0 = start of step, qs = working stage),
+  // carved from the scratch arena instead of per-call heap vectors. The
+  // reservation also covers the nested dss_levels node accumulator, which
+  // allocates while all three buffers are live.
+  const std::size_t acc_n =
+      static_cast<std::size_t>(m.nnodes()) * static_cast<std::size_t>(d.nlev);
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  if (arena.capacity() < 3 * ne * fs + acc_n || arena.ptr_capacity() < ne) {
+    arena.require(3 * ne * fs + acc_n, ne);
   }
-  std::vector<double*> qs_ptrs(static_cast<std::size_t>(nelem));
-  for (int e = 0; e < nelem; ++e) {
-    qs_ptrs[static_cast<std::size_t>(e)] =
-        qs[static_cast<std::size_t>(e)].data();
-  }
+  ScratchArena::Frame frame(arena);
+  std::span<double> q0 = arena.alloc(ne * fs), qs = arena.alloc(ne * fs),
+                    rhs = arena.alloc(ne * fs);
+  std::span<double*> qs_ptrs = arena.alloc_ptrs(ne);
+  for (std::size_t e = 0; e < ne; ++e) qs_ptrs[e] = qs.data() + e * fs;
 
   for (int q = 0; q < d.qsize; ++q) {
-    for (int e = 0; e < nelem; ++e) {
-      const std::size_t se = static_cast<std::size_t>(e);
-      auto src = s[se].q(q, d);
-      std::copy(src.begin(), src.end(), q0[se].begin());
-      std::copy(src.begin(), src.end(), qs[se].begin());
+    for (std::size_t e = 0; e < ne; ++e) {
+      auto src = s[e].q(q, d);
+      std::copy(src.begin(), src.end(), q0.begin() + e * fs);
+      std::copy(src.begin(), src.end(), qs.begin() + e * fs);
     }
 
     // SSP-RK3 (Shu-Osher): each stage = Euler step + convex combination,
@@ -91,26 +98,31 @@ void euler_step(const mesh::CubedSphere& m, const Dims& d, State& s,
     for (int stage = 0; stage < 3; ++stage) {
       for (int e = 0; e < nelem; ++e) {
         const std::size_t se = static_cast<std::size_t>(e);
-        element_tracer_rhs(m.geom(e), d, s[se], qs[se], rhs[se]);
+        element_tracer_rhs(m.geom(e), d, s[se], qs.subspan(se * fs, fs),
+                           rhs.subspan(se * fs, fs));
         const double a = stage_w[stage][0];
         const double b = stage_w[stage][1];
-        for (std::size_t f = 0; f < fs; ++f) {
-          qs[se][f] = a * q0[se][f] + b * (qs[se][f] + dt * rhs[se][f]);
+        const double* q0e = q0.data() + se * fs;
+        const double* re = rhs.data() + se * fs;
+        double* qe = qs.data() + se * fs;
+        for (std::size_t f = 0; f < fs; f += vpack::width) {
+          (a * vpack::load(q0e + f) +
+           b * (vpack::load(qe + f) + dt * vpack::load(re + f)))
+              .store(qe + f);
         }
       }
       dss_levels(m, qs_ptrs, d.nlev);
       if (limit) {
-        for (int e = 0; e < nelem; ++e) {
-          positivity_limiter(m.geom(e), d.nlev,
-                             qs[static_cast<std::size_t>(e)]);
+        for (std::size_t e = 0; e < ne; ++e) {
+          positivity_limiter(m.geom(static_cast<int>(e)), d.nlev,
+                             qs.subspan(e * fs, fs));
         }
       }
     }
 
-    for (int e = 0; e < nelem; ++e) {
-      const std::size_t se = static_cast<std::size_t>(e);
-      auto dst = s[se].q(q, d);
-      std::copy(qs[se].begin(), qs[se].end(), dst.begin());
+    for (std::size_t e = 0; e < ne; ++e) {
+      auto dst = s[e].q(q, d);
+      std::copy(qs.begin() + e * fs, qs.begin() + (e + 1) * fs, dst.begin());
     }
   }
 }

@@ -1,9 +1,9 @@
 #include "homme/hypervis.hpp"
 
-#include <vector>
-
 #include "homme/dss.hpp"
 #include "homme/ops.hpp"
+#include "homme/scratch.hpp"
+#include "homme/vpack.hpp"
 
 namespace homme {
 
@@ -24,49 +24,79 @@ void laplacian_field(const mesh::CubedSphere& m, int nlev,
   }
 }
 
-/// Workspace: per-element buffers with a pointer table.
-struct FieldBuf {
-  std::vector<std::vector<double>> data;
-  std::vector<double*> ptrs;
-  FieldBuf(int nelem, std::size_t fs)
-      : data(static_cast<std::size_t>(nelem)),
-        ptrs(static_cast<std::size_t>(nelem)) {
+/// Workspace: per-element field set carved from the scratch arena — one
+/// flat block of nelem*fs doubles plus a pointer table into it.
+struct ArenaFields {
+  std::span<double*> ptrs;
+  ArenaFields(ScratchArena& a, int nelem, std::size_t fs) {
+    std::span<double> flat =
+        a.alloc_zero(static_cast<std::size_t>(nelem) * fs);
+    ptrs = a.alloc_ptrs(static_cast<std::size_t>(nelem));
     for (int e = 0; e < nelem; ++e) {
-      data[static_cast<std::size_t>(e)].assign(fs, 0.0);
       ptrs[static_cast<std::size_t>(e)] =
-          data[static_cast<std::size_t>(e)].data();
+          flat.data() + static_cast<std::size_t>(e) * fs;
     }
   }
 };
 
-/// Rotate the wind of every element to Cartesian components; returns
-/// three field buffers.
+/// y[se][:] += coef * x[se][:] over every element, vectorized.
+void axpy_fields(int nelem, std::size_t fs, double coef,
+                 std::span<double* const> x, std::span<double* const> y) {
+  for (int e = 0; e < nelem; ++e) {
+    const double* xe = x[static_cast<std::size_t>(e)];
+    double* ye = y[static_cast<std::size_t>(e)];
+    for (std::size_t f = 0; f < fs; f += vpack::width) {
+      (vpack::load(ye + f) + coef * vpack::load(xe + f)).store(ye + f);
+    }
+  }
+}
+
+/// Rotate the wind of every element to Cartesian components.
 void wind_to_cart(const mesh::CubedSphere& m, const Dims& d, const State& s,
-                  FieldBuf& x, FieldBuf& y, FieldBuf& z) {
+                  std::span<double* const> x, std::span<double* const> y,
+                  std::span<double* const> z) {
   for (int e = 0; e < m.nelem(); ++e) {
     const std::size_t se = static_cast<std::size_t>(e);
     const auto& g = m.geom(e);
     for (int lev = 0; lev < d.nlev; ++lev) {
       contra_to_cart(g, s[se].u1.data() + fidx(lev, 0),
-                     s[se].u2.data() + fidx(lev, 0),
-                     x.ptrs[se] + fidx(lev, 0), y.ptrs[se] + fidx(lev, 0),
-                     z.ptrs[se] + fidx(lev, 0));
+                     s[se].u2.data() + fidx(lev, 0), x[se] + fidx(lev, 0),
+                     y[se] + fidx(lev, 0), z[se] + fidx(lev, 0));
     }
   }
 }
 
 void cart_to_wind(const mesh::CubedSphere& m, const Dims& d,
-                  const FieldBuf& x, const FieldBuf& y, const FieldBuf& z,
-                  State& s) {
+                  std::span<double* const> x, std::span<double* const> y,
+                  std::span<double* const> z, State& s) {
   for (int e = 0; e < m.nelem(); ++e) {
     const std::size_t se = static_cast<std::size_t>(e);
     const auto& g = m.geom(e);
     for (int lev = 0; lev < d.nlev; ++lev) {
-      cart_to_contra(g, x.ptrs[se] + fidx(lev, 0),
-                     y.ptrs[se] + fidx(lev, 0), z.ptrs[se] + fidx(lev, 0),
-                     s[se].u1.data() + fidx(lev, 0),
+      cart_to_contra(g, x[se] + fidx(lev, 0), y[se] + fidx(lev, 0),
+                     z[se] + fidx(lev, 0), s[se].u1.data() + fidx(lev, 0),
                      s[se].u2.data() + fidx(lev, 0));
     }
+  }
+}
+
+// Scratch sizing. The arena grows only while empty, so every public entry
+// point reserves its own worst case *including nested callees* before
+// taking a frame; when a public function is re-entered with allocations
+// live (laplacian_update / biharmonic_scalar inside hypervis_*), the
+// outer reservation already covers it and no growth is attempted. The
+// deepest callee is always dss_levels, whose node accumulator rides on
+// top of every live field set.
+void reserve(ScratchArena& a, const mesh::CubedSphere& m, std::size_t fs,
+             int nfields) {
+  const std::size_t need =
+      static_cast<std::size_t>(nfields) * static_cast<std::size_t>(m.nelem()) *
+          fs +
+      static_cast<std::size_t>(m.nnodes()) * (fs / kNpp);
+  const std::size_t pneed =
+      static_cast<std::size_t>(nfields) * static_cast<std::size_t>(m.nelem());
+  if (a.capacity() < need || a.ptr_capacity() < pneed) {
+    a.require(need, pneed);
   }
 }
 
@@ -74,21 +104,24 @@ void cart_to_wind(const mesh::CubedSphere& m, const Dims& d,
 
 void laplacian_update(const mesh::CubedSphere& m, int nlev,
                       std::span<double* const> field, double coef) {
-  FieldBuf lap(m.nelem(), static_cast<std::size_t>(nlev) * kNpp);
+  const std::size_t fs = static_cast<std::size_t>(nlev) * kNpp;
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  reserve(arena, m, fs, 1);
+  ScratchArena::Frame frame(arena);
+  ArenaFields lap(arena, m.nelem(), fs);
   laplacian_field(m, nlev, field, lap.ptrs);
-  for (int e = 0; e < m.nelem(); ++e) {
-    const std::size_t se = static_cast<std::size_t>(e);
-    for (std::size_t f = 0; f < static_cast<std::size_t>(nlev) * kNpp; ++f) {
-      field[se][f] += coef * lap.data[se][f];
-    }
-  }
+  axpy_fields(m.nelem(), fs, coef, lap.ptrs, field);
   dss_levels(m, field, nlev);
 }
 
 void biharmonic_scalar(const mesh::CubedSphere& m, int nlev,
                        std::span<double* const> field,
                        std::span<double* const> out) {
-  FieldBuf lap1(m.nelem(), static_cast<std::size_t>(nlev) * kNpp);
+  const std::size_t fs = static_cast<std::size_t>(nlev) * kNpp;
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  reserve(arena, m, fs, 1);
+  ScratchArena::Frame frame(arena);
+  ArenaFields lap1(arena, m.nelem(), fs);
   laplacian_field(m, nlev, field, lap1.ptrs);
   dss_levels(m, lap1.ptrs, nlev);
   laplacian_field(m, nlev, lap1.ptrs, out);
@@ -98,12 +131,16 @@ void biharmonic_scalar(const mesh::CubedSphere& m, int nlev,
 void hypervis_dp1(const mesh::CubedSphere& m, const Dims& d, State& s,
                   double nu, double dt) {
   const std::size_t fs = d.field_size();
-  FieldBuf ux(m.nelem(), fs), uy(m.nelem(), fs), uz(m.nelem(), fs);
-  wind_to_cart(m, d, s, ux, uy, uz);
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  reserve(arena, m, fs, 4);  // ux/uy/uz + nested laplacian_update
+  ScratchArena::Frame frame(arena);
+  ArenaFields ux(arena, m.nelem(), fs), uy(arena, m.nelem(), fs),
+      uz(arena, m.nelem(), fs);
+  wind_to_cart(m, d, s, ux.ptrs, uy.ptrs, uz.ptrs);
   laplacian_update(m, d.nlev, ux.ptrs, nu * dt);
   laplacian_update(m, d.nlev, uy.ptrs, nu * dt);
   laplacian_update(m, d.nlev, uz.ptrs, nu * dt);
-  cart_to_wind(m, d, ux, uy, uz, s);
+  cart_to_wind(m, d, ux.ptrs, uy.ptrs, uz.ptrs, s);
   auto Tp = field_ptrs(s, &ElementState::T);
   laplacian_update(m, d.nlev, Tp, nu * dt);
 }
@@ -111,43 +148,35 @@ void hypervis_dp1(const mesh::CubedSphere& m, const Dims& d, State& s,
 void hypervis_dp2(const mesh::CubedSphere& m, const Dims& d, State& s,
                   double nu, double dt) {
   const std::size_t fs = d.field_size();
-  FieldBuf ux(m.nelem(), fs), uy(m.nelem(), fs), uz(m.nelem(), fs);
-  wind_to_cart(m, d, s, ux, uy, uz);
-  FieldBuf bi(m.nelem(), fs);
-  for (FieldBuf* comp : {&ux, &uy, &uz}) {
-    biharmonic_scalar(m, d.nlev, comp->ptrs, bi.ptrs);
-    for (int e = 0; e < m.nelem(); ++e) {
-      const std::size_t se = static_cast<std::size_t>(e);
-      for (std::size_t f = 0; f < fs; ++f) {
-        comp->data[se][f] -= nu * dt * bi.data[se][f];
-      }
-    }
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  reserve(arena, m, fs, 5);  // ux/uy/uz/bi + nested biharmonic
+  ScratchArena::Frame frame(arena);
+  ArenaFields ux(arena, m.nelem(), fs), uy(arena, m.nelem(), fs),
+      uz(arena, m.nelem(), fs);
+  wind_to_cart(m, d, s, ux.ptrs, uy.ptrs, uz.ptrs);
+  ArenaFields bi(arena, m.nelem(), fs);
+  for (std::span<double* const> comp : {ux.ptrs, uy.ptrs, uz.ptrs}) {
+    biharmonic_scalar(m, d.nlev, comp, bi.ptrs);
+    axpy_fields(m.nelem(), fs, -nu * dt, bi.ptrs, comp);
   }
-  cart_to_wind(m, d, ux, uy, uz, s);
+  cart_to_wind(m, d, ux.ptrs, uy.ptrs, uz.ptrs, s);
 
   auto Tp = field_ptrs(s, &ElementState::T);
   biharmonic_scalar(m, d.nlev, Tp, bi.ptrs);
-  for (int e = 0; e < m.nelem(); ++e) {
-    const std::size_t se = static_cast<std::size_t>(e);
-    for (std::size_t f = 0; f < fs; ++f) {
-      s[se].T[f] -= nu * dt * bi.data[se][f];
-    }
-  }
+  axpy_fields(m.nelem(), fs, -nu * dt, bi.ptrs, Tp);
   dss_levels(m, Tp, d.nlev);
 }
 
 void biharmonic_dp3d(const mesh::CubedSphere& m, const Dims& d, State& s,
                      double nu, double dt) {
   const std::size_t fs = d.field_size();
-  FieldBuf bi(m.nelem(), fs);
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  reserve(arena, m, fs, 2);  // bi + nested biharmonic
+  ScratchArena::Frame frame(arena);
+  ArenaFields bi(arena, m.nelem(), fs);
   auto dpp = field_ptrs(s, &ElementState::dp);
   biharmonic_scalar(m, d.nlev, dpp, bi.ptrs);
-  for (int e = 0; e < m.nelem(); ++e) {
-    const std::size_t se = static_cast<std::size_t>(e);
-    for (std::size_t f = 0; f < fs; ++f) {
-      s[se].dp[f] -= nu * dt * bi.data[se][f];
-    }
-  }
+  axpy_fields(m.nelem(), fs, -nu * dt, bi.ptrs, dpp);
   dss_levels(m, dpp, d.nlev);
 }
 

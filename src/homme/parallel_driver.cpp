@@ -11,6 +11,8 @@
 #include "homme/ops.hpp"
 #include "homme/remap.hpp"
 #include "homme/rhs.hpp"
+#include "homme/scratch.hpp"
+#include "homme/vpack.hpp"
 
 namespace homme {
 
@@ -77,11 +79,15 @@ void ParallelDycore::rhs_stage(net::Rank& r, const State& base,
     element_rhs(mesh_.geom(bx_.global_elem(le)), dims_, eval[sle], tend);
     ElementState& o = out[sle];
     const ElementState& b = base[sle];
-    for (std::size_t f = 0; f < dims_.field_size(); ++f) {
-      o.u1[f] = b.u1[f] + dt * tend.u1[f];
-      o.u2[f] = b.u2[f] + dt * tend.u2[f];
-      o.T[f] = b.T[f] + dt * tend.T[f];
-      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+    for (std::size_t f = 0; f < dims_.field_size(); f += vpack::width) {
+      (vpack::load(b.u1.data() + f) + dt * vpack::load(tend.u1.data() + f))
+          .store(o.u1.data() + f);
+      (vpack::load(b.u2.data() + f) + dt * vpack::load(tend.u2.data() + f))
+          .store(o.u2.data() + f);
+      (vpack::load(b.T.data() + f) + dt * vpack::load(tend.T.data() + f))
+          .store(o.T.data() + f);
+      (vpack::load(b.dp.data() + f) + dt * vpack::load(tend.dp.data() + f))
+          .store(o.dp.data() + f);
     }
     o.phis = b.phis;
   }
@@ -91,48 +97,52 @@ void ParallelDycore::rhs_stage(net::Rank& r, const State& base,
 void ParallelDycore::euler_stage(net::Rank& r, State& s, double dt) {
   const std::size_t fs = dims_.field_size();
   const int n = bx_.nlocal();
-  std::vector<std::vector<double>> q0(static_cast<std::size_t>(n)),
-      qs(static_cast<std::size_t>(n)), rhs(static_cast<std::size_t>(n));
-  std::vector<double*> qs_ptrs(static_cast<std::size_t>(n));
-  for (int le = 0; le < n; ++le) {
-    q0[static_cast<std::size_t>(le)].resize(fs);
-    qs[static_cast<std::size_t>(le)].resize(fs);
-    rhs[static_cast<std::size_t>(le)].resize(fs);
-    qs_ptrs[static_cast<std::size_t>(le)] =
-        qs[static_cast<std::size_t>(le)].data();
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  if (arena.capacity() < 3 * sn * fs || arena.ptr_capacity() < sn) {
+    arena.require(3 * sn * fs, sn);
   }
+  ScratchArena::Frame frame(arena);
+  std::span<double> q0 = arena.alloc(sn * fs), qs = arena.alloc(sn * fs),
+                    rhs = arena.alloc(sn * fs);
+  std::span<double*> qs_ptrs = arena.alloc_ptrs(sn);
+  for (std::size_t le = 0; le < sn; ++le) qs_ptrs[le] = qs.data() + le * fs;
 
   for (int q = 0; q < dims_.qsize; ++q) {
-    for (int le = 0; le < n; ++le) {
-      const std::size_t sle = static_cast<std::size_t>(le);
-      auto src = s[sle].q(q, dims_);
-      std::copy(src.begin(), src.end(), q0[sle].begin());
-      std::copy(src.begin(), src.end(), qs[sle].begin());
+    for (std::size_t le = 0; le < sn; ++le) {
+      auto src = s[le].q(q, dims_);
+      std::copy(src.begin(), src.end(), q0.begin() + le * fs);
+      std::copy(src.begin(), src.end(), qs.begin() + le * fs);
     }
     const double w[3][2] = {{0.0, 1.0}, {0.75, 0.25}, {1.0 / 3, 2.0 / 3}};
     for (int stage = 0; stage < 3; ++stage) {
       for (int le = 0; le < n; ++le) {
         const std::size_t sle = static_cast<std::size_t>(le);
         element_tracer_rhs(mesh_.geom(bx_.global_elem(le)), dims_, s[sle],
-                           qs[sle], rhs[sle]);
-        for (std::size_t f = 0; f < fs; ++f) {
-          qs[sle][f] =
-              w[stage][0] * q0[sle][f] +
-              w[stage][1] * (qs[sle][f] + dt * rhs[sle][f]);
+                           qs.subspan(sle * fs, fs),
+                           rhs.subspan(sle * fs, fs));
+        const double* q0e = q0.data() + sle * fs;
+        const double* re = rhs.data() + sle * fs;
+        double* qe = qs.data() + sle * fs;
+        for (std::size_t f = 0; f < fs; f += vpack::width) {
+          (w[stage][0] * vpack::load(q0e + f) +
+           w[stage][1] * (vpack::load(qe + f) + dt * vpack::load(re + f)))
+              .store(qe + f);
         }
       }
       bx_.dss_levels(r, qs_ptrs, dims_.nlev, mode_);
       if (cfg_.limit_tracers) {
-        for (int le = 0; le < n; ++le) {
-          positivity_limiter(mesh_.geom(bx_.global_elem(le)), dims_.nlev,
-                             qs[static_cast<std::size_t>(le)]);
+        for (std::size_t le = 0; le < sn; ++le) {
+          positivity_limiter(mesh_.geom(bx_.global_elem(static_cast<int>(le))),
+                             dims_.nlev, qs.subspan(le * fs, fs));
         }
       }
     }
-    for (int le = 0; le < n; ++le) {
-      const std::size_t sle = static_cast<std::size_t>(le);
-      auto dst = s[sle].q(q, dims_);
-      std::copy(qs[sle].begin(), qs[sle].end(), dst.begin());
+    for (std::size_t le = 0; le < sn; ++le) {
+      auto dst = s[le].q(q, dims_);
+      std::copy(qs.begin() + le * fs, qs.begin() + (le + 1) * fs,
+                dst.begin());
     }
   }
 }
@@ -140,26 +150,27 @@ void ParallelDycore::euler_stage(net::Rank& r, State& s, double dt) {
 void ParallelDycore::hypervis(net::Rank& r, State& s) {
   const std::size_t fs = dims_.field_size();
   const int n = bx_.nlocal();
+  const std::size_t sn = static_cast<std::size_t>(n);
   const double nu_dt = cfg_.nu * cfg_.dt;
 
-  // Scratch buffers with pointer tables.
-  auto make_buf = [&](std::vector<std::vector<double>>& data,
-                      std::vector<double*>& ptrs) {
-    data.assign(static_cast<std::size_t>(n), std::vector<double>(fs, 0.0));
-    ptrs.resize(static_cast<std::size_t>(n));
-    for (int le = 0; le < n; ++le) {
-      ptrs[static_cast<std::size_t>(le)] =
-          data[static_cast<std::size_t>(le)].data();
-    }
+  // Scratch: cx/cy/cz/bi field sets + the nested biharmonic's lap1.
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  if (arena.capacity() < 5 * sn * fs || arena.ptr_capacity() < 5 * sn) {
+    arena.require(5 * sn * fs, 5 * sn);
+  }
+  ScratchArena::Frame frame(arena);
+  auto make_buf = [&](std::span<double*>& ptrs) {
+    std::span<double> flat = arena.alloc_zero(sn * fs);
+    ptrs = arena.alloc_ptrs(sn);
+    for (std::size_t le = 0; le < sn; ++le) ptrs[le] = flat.data() + le * fs;
   };
 
   // Biharmonic of one per-element field set: lap -> DSS -> lap -> DSS.
   auto biharm = [&](std::span<double* const> field,
-                    std::vector<std::vector<double>>& out_data,
-                    std::vector<double*>& out_ptrs) {
-    std::vector<std::vector<double>> lap1;
-    std::vector<double*> lap1p;
-    make_buf(lap1, lap1p);
+                    std::span<double* const> out_ptrs) {
+    ScratchArena::Frame inner(arena);
+    std::span<double*> lap1p;
+    make_buf(lap1p);
     for (int le = 0; le < n; ++le) {
       const auto& g = mesh_.geom(bx_.global_elem(le));
       for (int lev = 0; lev < dims_.nlev; ++lev) {
@@ -179,16 +190,26 @@ void ParallelDycore::hypervis(net::Rank& r, State& s) {
       }
     }
     bx_.dss_levels(r, out_ptrs, dims_.nlev, mode_);
-    (void)out_data;
+  };
+
+  // y[le][:] -= nu_dt * x[le][:], vectorized.
+  auto sub_scaled = [&](std::span<double* const> x,
+                        std::span<double* const> y) {
+    for (std::size_t le = 0; le < sn; ++le) {
+      const double* xe = x[le];
+      double* ye = y[le];
+      for (std::size_t f = 0; f < fs; f += vpack::width) {
+        (vpack::load(ye + f) - nu_dt * vpack::load(xe + f)).store(ye + f);
+      }
+    }
   };
 
   // Wind: rotate to Cartesian, biharmonic each component, rotate back.
-  std::vector<std::vector<double>> cx, cy, cz, bi;
-  std::vector<double*> px, py, pz, pbi;
-  make_buf(cx, px);
-  make_buf(cy, py);
-  make_buf(cz, pz);
-  make_buf(bi, pbi);
+  std::span<double*> px, py, pz, pbi;
+  make_buf(px);
+  make_buf(py);
+  make_buf(pz);
+  make_buf(pbi);
   for (int le = 0; le < n; ++le) {
     const std::size_t sle = static_cast<std::size_t>(le);
     const auto& g = mesh_.geom(bx_.global_elem(le));
@@ -198,14 +219,9 @@ void ParallelDycore::hypervis(net::Rank& r, State& s) {
                      py[sle] + fidx(lev, 0), pz[sle] + fidx(lev, 0));
     }
   }
-  for (auto* comp : {&px, &py, &pz}) {
-    biharm(*comp, bi, pbi);
-    for (int le = 0; le < n; ++le) {
-      const std::size_t sle = static_cast<std::size_t>(le);
-      for (std::size_t f = 0; f < fs; ++f) {
-        (*comp)[sle][f] -= nu_dt * bi[sle][f];
-      }
-    }
+  for (std::span<double* const> comp : {px, py, pz}) {
+    biharm(comp, pbi);
+    sub_scaled(pbi, comp);
   }
   for (int le = 0; le < n; ++le) {
     const std::size_t sle = static_cast<std::size_t>(le);
@@ -221,13 +237,8 @@ void ParallelDycore::hypervis(net::Rank& r, State& s) {
   // T and dp.
   for (auto member : {&ElementState::T, &ElementState::dp}) {
     auto fp = field_ptrs(s, member);
-    biharm(fp, bi, pbi);
-    for (int le = 0; le < n; ++le) {
-      const std::size_t sle = static_cast<std::size_t>(le);
-      for (std::size_t f = 0; f < fs; ++f) {
-        (s[sle].*member)[f] -= nu_dt * bi[sle][f];
-      }
-    }
+    biharm(fp, pbi);
+    sub_scaled(pbi, fp);
     bx_.dss_levels(r, fp, dims_.nlev, mode_);
   }
 }

@@ -1,0 +1,300 @@
+#include "homme/ref_kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "homme/dss.hpp"
+#include "homme/ops.hpp"
+
+// The bodies below are the pre-rewrite rhs.cpp / remap.cpp hot paths,
+// verbatim: they are the baseline the vectorized kernels are tested and
+// benchmarked against, so they must stay untouched by future tuning.
+
+namespace homme::ref {
+
+using mesh::kNpp;
+
+void column_pressure(int nlev, const double* dp, double* p_mid) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = kPtop;
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const double d = dp[fidx(lev, g)];
+      p_mid[fidx(lev, g)] = run[g] + 0.5 * d;
+      run[g] += d;
+    }
+  }
+}
+
+void column_geopotential(int nlev, const double* T, const double* dp,
+                         const double* p_mid, const double* phis,
+                         double* phi_mid) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = phis[g];
+  for (int lev = nlev - 1; lev >= 0; --lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const std::size_t k = fidx(lev, g);
+      const double half = 0.5 * kRgas * T[k] * dp[k] / p_mid[k];
+      phi_mid[k] = run[g] + half;
+      run[g] += 2.0 * half;
+    }
+  }
+}
+
+void column_omega(int nlev, const double* divdp, double* omega) {
+  double run[kNpp];
+  for (int g = 0; g < kNpp; ++g) run[g] = 0.0;
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int g = 0; g < kNpp; ++g) {
+      const std::size_t k = fidx(lev, g);
+      omega[k] = -(run[g] + 0.5 * divdp[k]);
+      run[g] += divdp[k];
+    }
+  }
+}
+
+void element_rhs(const mesh::ElementGeom& g, const Dims& d,
+                 const ElementState& eval, ElementTend& tend) {
+  const int nlev = d.nlev;
+  std::vector<double> p_mid(d.field_size()), phi_mid(d.field_size()),
+      divdp(d.field_size()), omega(d.field_size());
+
+  column_pressure(nlev, eval.dp.data(), p_mid.data());
+
+  std::vector<double> tv;
+  const double* t_for_phi = eval.T.data();
+  if (d.moist && d.qsize > 0) {
+    tv.resize(d.field_size());
+    auto q0 = eval.q(0, d);
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      tv[f] = eval.T[f] * (1.0 + kZvir * q0[f] / eval.dp[f]);
+    }
+    t_for_phi = tv.data();
+  }
+  column_geopotential(nlev, t_for_phi, eval.dp.data(), p_mid.data(),
+                      eval.phis.data(), phi_mid.data());
+
+  double vort[kNpp], absvort[kNpp], energy[kNpp];
+  double gE1[kNpp], gE2[kNpp];
+  double d1p[kNpp], d2p[kNpp];
+  double cor1[kNpp], cor2[kNpp];
+  double d1T[kNpp], d2T[kNpp];
+  double flux1[kNpp], flux2[kNpp];
+
+  for (int lev = 0; lev < nlev; ++lev) {
+    const double* u1 = eval.u1.data() + fidx(lev, 0);
+    const double* u2 = eval.u2.data() + fidx(lev, 0);
+    const double* T = eval.T.data() + fidx(lev, 0);
+    const double* Tv = t_for_phi + fidx(lev, 0);
+    const double* dp = eval.dp.data() + fidx(lev, 0);
+    const double* pm = p_mid.data() + fidx(lev, 0);
+    const double* phim = phi_mid.data() + fidx(lev, 0);
+
+    vorticity_sphere(g, u1, u2, vort);
+    for (int k = 0; k < kNpp; ++k) {
+      absvort[k] = vort[k] + g.coriolis[static_cast<std::size_t>(k)];
+      const double ke =
+          0.5 * (g.g11[static_cast<std::size_t>(k)] * u1[k] * u1[k] +
+                 2.0 * g.g12[static_cast<std::size_t>(k)] * u1[k] * u2[k] +
+                 g.g22[static_cast<std::size_t>(k)] * u2[k] * u2[k]);
+      energy[k] = ke + phim[k];
+    }
+    gradient_sphere(g, energy, gE1, gE2);
+    gradient_covariant(pm, d1p, d2p);
+    coriolis_vorticity_term(g, absvort, u1, u2, cor1, cor2);
+    gradient_covariant(T, d1T, d2T);
+
+    for (int k = 0; k < kNpp; ++k) {
+      flux1[k] = dp[k] * u1[k];
+      flux2[k] = dp[k] * u2[k];
+    }
+    divergence_sphere(g, flux1, flux2, divdp.data() + fidx(lev, 0));
+
+    double* tu1 = tend.u1.data() + fidx(lev, 0);
+    double* tu2 = tend.u2.data() + fidx(lev, 0);
+    double* tT = tend.T.data() + fidx(lev, 0);
+    double* tdp = tend.dp.data() + fidx(lev, 0);
+    for (int k = 0; k < kNpp; ++k) {
+      const double rtp = kRgas * Tv[k] / pm[k];
+      const double gp1 = g.ginv11[static_cast<std::size_t>(k)] * d1p[k] +
+                         g.ginv12[static_cast<std::size_t>(k)] * d2p[k];
+      const double gp2 = g.ginv12[static_cast<std::size_t>(k)] * d1p[k] +
+                         g.ginv22[static_cast<std::size_t>(k)] * d2p[k];
+      tu1[k] = -cor1[k] - gE1[k] - rtp * gp1;
+      tu2[k] = -cor2[k] - gE2[k] - rtp * gp2;
+      tT[k] = -(u1[k] * d1T[k] + u2[k] * d2T[k]);
+      tdp[k] = -divdp[fidx(lev, k)];
+    }
+  }
+
+  column_omega(nlev, divdp.data(), omega.data());
+  for (int lev = 0; lev < nlev; ++lev) {
+    for (int k = 0; k < kNpp; ++k) {
+      const std::size_t f = fidx(lev, k);
+      tend.T[f] += kKappa * t_for_phi[f] * omega[f] / p_mid[f];
+    }
+  }
+}
+
+void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
+                           const State& base, const State& eval, double dt,
+                           State& out) {
+  assert(base.size() == static_cast<std::size_t>(m.nelem()));
+  assert(eval.size() == base.size() && out.size() == base.size());
+
+  ElementTend tend(d);
+  for (int e = 0; e < m.nelem(); ++e) {
+    const std::size_t se = static_cast<std::size_t>(e);
+    element_rhs(m.geom(e), d, eval[se], tend);
+    ElementState& o = out[se];
+    const ElementState& b = base[se];
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      o.u1[f] = b.u1[f] + dt * tend.u1[f];
+      o.u2[f] = b.u2[f] + dt * tend.u2[f];
+      o.T[f] = b.T[f] + dt * tend.T[f];
+      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+    }
+    o.phis = b.phis;
+  }
+
+  auto u1p = field_ptrs(out, &ElementState::u1);
+  auto u2p = field_ptrs(out, &ElementState::u2);
+  auto Tp = field_ptrs(out, &ElementState::T);
+  auto dpp = field_ptrs(out, &ElementState::dp);
+  dss_vector_levels(m, u1p, u2p, d.nlev);
+  dss_levels(m, Tp, d.nlev);
+  dss_levels(m, dpp, d.nlev);
+}
+
+namespace {
+
+void monotone_slopes(std::span<const double> x, std::span<const double> y,
+                     std::span<double> m) {
+  const std::size_t n = x.size();
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    delta[i] = (y[i + 1] - y[i]) / (x[i + 1] - x[i]);
+  }
+  m[0] = delta[0];
+  m[n - 1] = delta[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    m[i] = (delta[i - 1] * delta[i] <= 0.0)
+               ? 0.0
+               : 0.5 * (delta[i - 1] + delta[i]);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (delta[i] == 0.0) {
+      m[i] = 0.0;
+      m[i + 1] = 0.0;
+      continue;
+    }
+    const double a = m[i] / delta[i];
+    const double b = m[i + 1] / delta[i];
+    const double s = a * a + b * b;
+    if (s > 9.0) {
+      const double tau = 3.0 / std::sqrt(s);
+      m[i] = tau * a * delta[i];
+      m[i + 1] = tau * b * delta[i];
+    }
+  }
+}
+
+double eval_hermite(std::span<const double> x, std::span<const double> y,
+                    std::span<const double> m, double xq) {
+  const std::size_t n = x.size();
+  if (xq <= x[0]) return y[0];
+  if (xq >= x[n - 1]) return y[n - 1];
+  std::size_t lo =
+      static_cast<std::size_t>(std::upper_bound(x.begin(), x.end(), xq) -
+                               x.begin()) -
+      1;
+  const double h = x[lo + 1] - x[lo];
+  const double t = (xq - x[lo]) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y[lo] + h10 * h * m[lo] + h01 * y[lo + 1] + h11 * h * m[lo + 1];
+}
+
+}  // namespace
+
+void remap_column(std::span<const double> src_dp,
+                  std::span<const double> tgt_dp, std::span<double> q) {
+  const std::size_t n = src_dp.size();
+  assert(tgt_dp.size() == n && q.size() == n);
+
+  std::vector<double> xs(n + 1), ys(n + 1), slopes(n + 1), xt(n + 1);
+  xs[0] = 0.0;
+  ys[0] = 0.0;
+  xt[0] = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    xs[k + 1] = xs[k] + src_dp[k];
+    ys[k + 1] = ys[k] + q[k] * src_dp[k];
+    xt[k + 1] = xt[k] + tgt_dp[k];
+  }
+  assert(std::abs(xs[n] - xt[n]) <= 1e-8 * std::max(1.0, std::abs(xs[n])));
+
+  monotone_slopes(xs, ys, slopes);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cur =
+        (k + 1 == n) ? ys[n] : eval_hermite(xs, ys, slopes, xt[k + 1]);
+    q[k] = (cur - prev) / tgt_dp[k];
+    prev = cur;
+  }
+}
+
+void vertical_remap_local(const Dims& d, State& s) {
+  const HybridCoord hc = HybridCoord::uniform(d.nlev);
+  const int nlev = d.nlev;
+  std::vector<double> src(static_cast<std::size_t>(nlev)),
+      tgt(static_cast<std::size_t>(nlev)), col(static_cast<std::size_t>(nlev));
+
+  for (std::size_t e = 0; e < s.size(); ++e) {
+    ElementState& es = s[e];
+    for (int k = 0; k < kNpp; ++k) {
+      double ps = kPtop;
+      for (int lev = 0; lev < nlev; ++lev) {
+        src[static_cast<std::size_t>(lev)] = es.dp[fidx(lev, k)];
+        ps += es.dp[fidx(lev, k)];
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        tgt[static_cast<std::size_t>(lev)] = hc.dp_ref(lev, ps);
+      }
+
+      auto remap_field = [&](std::vector<double>& field) {
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] = field[fidx(lev, k)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
+        }
+      };
+      remap_field(es.u1);
+      remap_field(es.u2);
+      remap_field(es.T);
+      for (int q = 0; q < d.qsize; ++q) {
+        auto qf = es.q(q, d);
+        for (int lev = 0; lev < nlev; ++lev) {
+          col[static_cast<std::size_t>(lev)] =
+              qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
+        }
+        remap_column(src, tgt, col);
+        for (int lev = 0; lev < nlev; ++lev) {
+          qf[fidx(lev, k)] = col[static_cast<std::size_t>(lev)] *
+                             tgt[static_cast<std::size_t>(lev)];
+        }
+      }
+      for (int lev = 0; lev < nlev; ++lev) {
+        es.dp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
+      }
+    }
+  }
+}
+
+}  // namespace homme::ref

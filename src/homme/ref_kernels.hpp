@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file ref_kernels.hpp
+/// homme::ref — the frozen scalar reference implementations of the host
+/// hot kernels, exactly as they were before the vectorized/arena rewrite
+/// (per-call std::vector temporaries and all).
+///
+/// They exist for two reasons:
+///   - tests pin the vectorized kernels against them (bit-identical or
+///     1e-12-bounded across ne/nlev/moist configurations), and
+///   - bench_host_kernels measures the rewrite's speedup against the
+///     genuine old path, allocation churn included, rather than against
+///     a strawman.
+/// Nothing in the model itself may call homme::ref::*.
+
+namespace homme::ref {
+
+/// Scalar column scans (the originals of rhs.cpp's scans).
+void column_pressure(int nlev, const double* dp, double* p_mid);
+void column_geopotential(int nlev, const double* T, const double* dp,
+                         const double* p_mid, const double* phis,
+                         double* phi_mid);
+void column_omega(int nlev, const double* divdp, double* omega);
+
+/// Scalar element_rhs with per-call vector temporaries (no DSS).
+void element_rhs(const mesh::ElementGeom& g, const Dims& d,
+                 const ElementState& eval, ElementTend& tend);
+
+/// Scalar compute_and_apply_rhs (element_rhs + update + DSS).
+void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
+                           const State& base, const State& eval, double dt,
+                           State& out);
+
+/// Scalar conservative column remap (per-call vector temporaries).
+void remap_column(std::span<const double> src_dp,
+                  std::span<const double> tgt_dp, std::span<double> q);
+
+/// Scalar whole-state vertical remap (per-column gathers through
+/// remap_column above).
+void vertical_remap_local(const Dims& d, State& s);
+
+}  // namespace homme::ref

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 
 #include "homme/state.hpp"
 #include "mesh/cubed_sphere.hpp"
@@ -18,6 +19,20 @@
 /// remap uses.
 
 namespace homme {
+
+/// A column handed to the remap is not remappable: non-positive layer
+/// thickness (reachable under injected faults before rollback triggers)
+/// or source/target column masses that disagree beyond roundoff. Thrown
+/// in every build mode — in Release such a column used to be silently
+/// remapped into NaN that propagated through qdp; now the failure
+/// surfaces with the element / column / level named, in the same typed
+/// spirit as sw::KernelFault, so the resilience layer (StateMonitor /
+/// ResilientRunner rollback) can react instead of inheriting poisoned
+/// state.
+class RemapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Conservatively remap one column. \p src_dp / \p tgt_dp are the source
 /// and target layer thicknesses (same total mass); \p q holds the source

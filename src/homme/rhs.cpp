@@ -4,19 +4,28 @@
 
 #include "homme/dss.hpp"
 #include "homme/ops.hpp"
+#include "homme/scratch.hpp"
+#include "homme/vpack.hpp"
 
 namespace homme {
 
 using mesh::kNpp;
 
+// The three vertical scans and the per-level inner loops below are the
+// vectorized (vpack) forms of the scalar loops preserved verbatim in
+// ref_kernels.cpp. Each lane performs exactly the scalar operation
+// sequence, so the rewrite changes data movement, not arithmetic.
+
 void column_pressure(int nlev, const double* dp, double* p_mid) {
-  double run[kNpp];
-  for (int g = 0; g < kNpp; ++g) run[g] = kPtop;
+  vpack run[kTilePacks];
+  for (int p = 0; p < kTilePacks; ++p) run[p] = vpack::fill(kPtop);
   for (int lev = 0; lev < nlev; ++lev) {
-    for (int g = 0; g < kNpp; ++g) {
-      const double d = dp[fidx(lev, g)];
-      p_mid[fidx(lev, g)] = run[g] + 0.5 * d;
-      run[g] += d;
+    const double* dpl = dp + fidx(lev, 0);
+    double* pl = p_mid + fidx(lev, 0);
+    for (int p = 0; p < kTilePacks; ++p) {
+      const vpack d = vpack::load(dpl + p * vpack::width);
+      (run[p] + 0.5 * d).store(pl + p * vpack::width);
+      run[p] += d;
     }
   }
 }
@@ -24,26 +33,36 @@ void column_pressure(int nlev, const double* dp, double* p_mid) {
 void column_geopotential(int nlev, const double* T, const double* dp,
                          const double* p_mid, const double* phis,
                          double* phi_mid) {
-  double run[kNpp];
-  for (int g = 0; g < kNpp; ++g) run[g] = phis[g];
+  vpack run[kTilePacks];
+  for (int p = 0; p < kTilePacks; ++p) {
+    run[p] = vpack::load(phis + p * vpack::width);
+  }
   for (int lev = nlev - 1; lev >= 0; --lev) {
-    for (int g = 0; g < kNpp; ++g) {
-      const std::size_t k = fidx(lev, g);
-      const double half = 0.5 * kRgas * T[k] * dp[k] / p_mid[k];
-      phi_mid[k] = run[g] + half;
-      run[g] += 2.0 * half;
+    const double* Tl = T + fidx(lev, 0);
+    const double* dpl = dp + fidx(lev, 0);
+    const double* pl = p_mid + fidx(lev, 0);
+    double* phil = phi_mid + fidx(lev, 0);
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack half = 0.5 * kRgas * vpack::load(Tl + k) *
+                         vpack::load(dpl + k) / vpack::load(pl + k);
+      (run[p] + half).store(phil + k);
+      run[p] += 2.0 * half;
     }
   }
 }
 
 void column_omega(int nlev, const double* divdp, double* omega) {
-  double run[kNpp];
-  for (int g = 0; g < kNpp; ++g) run[g] = 0.0;
+  vpack run[kTilePacks];
+  for (int p = 0; p < kTilePacks; ++p) run[p] = vpack::zero();
   for (int lev = 0; lev < nlev; ++lev) {
-    for (int g = 0; g < kNpp; ++g) {
-      const std::size_t k = fidx(lev, g);
-      omega[k] = -(run[g] + 0.5 * divdp[k]);
-      run[g] += divdp[k];
+    const double* dl = divdp + fidx(lev, 0);
+    double* ol = omega + fidx(lev, 0);
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack d = vpack::load(dl + k);
+      (-(run[p] + 0.5 * d)).store(ol + k);
+      run[p] += d;
     }
   }
 }
@@ -51,21 +70,28 @@ void column_omega(int nlev, const double* divdp, double* omega) {
 void element_rhs(const mesh::ElementGeom& g, const Dims& d,
                  const ElementState& eval, ElementTend& tend) {
   const int nlev = d.nlev;
-  std::vector<double> p_mid(d.field_size()), phi_mid(d.field_size()),
-      divdp(d.field_size()), omega(d.field_size());
+  const std::size_t fs = d.field_size();
+
+  ScratchArena& arena = ScratchArena::thread_local_arena();
+  if (arena.capacity() < 5 * fs) arena.require(5 * fs);
+  ScratchArena::Frame frame(arena);
+  std::span<double> p_mid = arena.alloc(fs), phi_mid = arena.alloc(fs),
+                    divdp = arena.alloc(fs), omega = arena.alloc(fs);
 
   column_pressure(nlev, eval.dp.data(), p_mid.data());
 
   // Moist dynamics: the hydrostatic and pressure-gradient terms see the
   // virtual temperature Tv = T (1 + zvir q), with tracer 0 as specific
   // humidity (q = qdp / dp), exactly as CAM couples moisture back.
-  std::vector<double> tv;
   const double* t_for_phi = eval.T.data();
   if (d.moist && d.qsize > 0) {
-    tv.resize(d.field_size());
+    std::span<double> tv = arena.alloc(fs);
     auto q0 = eval.q(0, d);
-    for (std::size_t f = 0; f < d.field_size(); ++f) {
-      tv[f] = eval.T[f] * (1.0 + kZvir * q0[f] / eval.dp[f]);
+    for (std::size_t f = 0; f < fs; f += vpack::width) {
+      const vpack q = vpack::load(q0.data() + f);
+      const vpack dp = vpack::load(eval.dp.data() + f);
+      const vpack T = vpack::load(eval.T.data() + f);
+      (T * (vpack::fill(1.0) + kZvir * q / dp)).store(tv.data() + f);
     }
     t_for_phi = tv.data();
   }
@@ -89,13 +115,16 @@ void element_rhs(const mesh::ElementGeom& g, const Dims& d,
     const double* phim = phi_mid.data() + fidx(lev, 0);
 
     vorticity_sphere(g, u1, u2, vort);
-    for (int k = 0; k < kNpp; ++k) {
-      absvort[k] = vort[k] + g.coriolis[static_cast<std::size_t>(k)];
-      const double ke =
-          0.5 * (g.g11[static_cast<std::size_t>(k)] * u1[k] * u1[k] +
-                 2.0 * g.g12[static_cast<std::size_t>(k)] * u1[k] * u2[k] +
-                 g.g22[static_cast<std::size_t>(k)] * u2[k] * u2[k]);
-      energy[k] = ke + phim[k];
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack vu1 = vpack::load(u1 + k), vu2 = vpack::load(u2 + k);
+      const vpack ke =
+          0.5 * (vpack::load(g.g11.data() + k) * vu1 * vu1 +
+                 2.0 * vpack::load(g.g12.data() + k) * vu1 * vu2 +
+                 vpack::load(g.g22.data() + k) * vu2 * vu2);
+      (vpack::load(vort + k) + vpack::load(g.coriolis.data() + k))
+          .store(absvort + k);
+      (ke + vpack::load(phim + k)).store(energy + k);
     }
     gradient_sphere(g, energy, gE1, gE2);
     gradient_covariant(pm, d1p, d2p);
@@ -103,9 +132,11 @@ void element_rhs(const mesh::ElementGeom& g, const Dims& d,
     gradient_covariant(T, d1T, d2T);
 
     // Mass flux divergence.
-    for (int k = 0; k < kNpp; ++k) {
-      flux1[k] = dp[k] * u1[k];
-      flux2[k] = dp[k] * u2[k];
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack vdp = vpack::load(dp + k);
+      (vdp * vpack::load(u1 + k)).store(flux1 + k);
+      (vdp * vpack::load(u2 + k)).store(flux2 + k);
     }
     divergence_sphere(g, flux1, flux2, divdp.data() + fidx(lev, 0));
 
@@ -113,26 +144,33 @@ void element_rhs(const mesh::ElementGeom& g, const Dims& d,
     double* tu2 = tend.u2.data() + fidx(lev, 0);
     double* tT = tend.T.data() + fidx(lev, 0);
     double* tdp = tend.dp.data() + fidx(lev, 0);
-    for (int k = 0; k < kNpp; ++k) {
-      const double rtp = kRgas * Tv[k] / pm[k];
-      const double gp1 = g.ginv11[static_cast<std::size_t>(k)] * d1p[k] +
-                         g.ginv12[static_cast<std::size_t>(k)] * d2p[k];
-      const double gp2 = g.ginv12[static_cast<std::size_t>(k)] * d1p[k] +
-                         g.ginv22[static_cast<std::size_t>(k)] * d2p[k];
-      tu1[k] = -cor1[k] - gE1[k] - rtp * gp1;
-      tu2[k] = -cor2[k] - gE2[k] - rtp * gp2;
+    const double* divl = divdp.data() + fidx(lev, 0);
+    for (int p = 0; p < kTilePacks; ++p) {
+      const int k = p * vpack::width;
+      const vpack rtp = kRgas * vpack::load(Tv + k) / vpack::load(pm + k);
+      const vpack vd1p = vpack::load(d1p + k), vd2p = vpack::load(d2p + k);
+      const vpack gp1 = vpack::load(g.ginv11.data() + k) * vd1p +
+                        vpack::load(g.ginv12.data() + k) * vd2p;
+      const vpack gp2 = vpack::load(g.ginv12.data() + k) * vd1p +
+                        vpack::load(g.ginv22.data() + k) * vd2p;
+      (-vpack::load(cor1 + k) - vpack::load(gE1 + k) - rtp * gp1)
+          .store(tu1 + k);
+      (-vpack::load(cor2 + k) - vpack::load(gE2 + k) - rtp * gp2)
+          .store(tu2 + k);
       // Advection of T: contravariant wind dotted with covariant gradient.
-      tT[k] = -(u1[k] * d1T[k] + u2[k] * d2T[k]);
-      tdp[k] = -divdp[fidx(lev, k)];
+      (-(vpack::load(u1 + k) * vpack::load(d1T + k) +
+         vpack::load(u2 + k) * vpack::load(d2T + k)))
+          .store(tT + k);
+      (-vpack::load(divl + k)).store(tdp + k);
     }
   }
 
   column_omega(nlev, divdp.data(), omega.data());
-  for (int lev = 0; lev < nlev; ++lev) {
-    for (int k = 0; k < kNpp; ++k) {
-      const std::size_t f = fidx(lev, k);
-      tend.T[f] += kKappa * t_for_phi[f] * omega[f] / p_mid[f];
-    }
+  for (std::size_t f = 0; f < fs; f += vpack::width) {
+    const vpack corr = kKappa * vpack::load(t_for_phi + f) *
+                       vpack::load(omega.data() + f) /
+                       vpack::load(p_mid.data() + f);
+    (vpack::load(tend.T.data() + f) + corr).store(tend.T.data() + f);
   }
 }
 
@@ -148,11 +186,15 @@ void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
     element_rhs(m.geom(e), d, eval[se], tend);
     ElementState& o = out[se];
     const ElementState& b = base[se];
-    for (std::size_t f = 0; f < d.field_size(); ++f) {
-      o.u1[f] = b.u1[f] + dt * tend.u1[f];
-      o.u2[f] = b.u2[f] + dt * tend.u2[f];
-      o.T[f] = b.T[f] + dt * tend.T[f];
-      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+    for (std::size_t f = 0; f < d.field_size(); f += vpack::width) {
+      (vpack::load(b.u1.data() + f) + dt * vpack::load(tend.u1.data() + f))
+          .store(o.u1.data() + f);
+      (vpack::load(b.u2.data() + f) + dt * vpack::load(tend.u2.data() + f))
+          .store(o.u2.data() + f);
+      (vpack::load(b.T.data() + f) + dt * vpack::load(tend.T.data() + f))
+          .store(o.T.data() + f);
+      (vpack::load(b.dp.data() + f) + dt * vpack::load(tend.dp.data() + f))
+          .store(o.dp.data() + f);
     }
     o.phis = b.phis;
   }

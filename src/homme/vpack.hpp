@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstring>
+
+#include "mesh/geometry.hpp"
+
+/// \file vpack.hpp
+/// homme::vpack — a portable packed SIMD vector of doubles, the host-side
+/// counterpart of the TinMan KokkosKernels "Vector<...>" pack and the
+/// Sunway v4d register type used throughout the accelerator model.
+///
+/// A level tile of the dycore is kNpp contiguous doubles ([lev][gidx]
+/// layout), so every horizontal operator and vertical scan walks tiles of
+/// 16; vpack processes them kVpackWidth lanes at a time. On GCC/Clang the
+/// lanes are a native vector-extension type (the v4d idiom), so pack
+/// arithmetic is a single hardware-width operation per expression;
+/// elsewhere the lanes are a fixed-trip-count loop the optimizer
+/// vectorizes. Either way *each lane performs exactly the scalar sequence
+/// of operations* — no reassociation, no cross-lane reductions — so
+/// results are bit-identical to the scalar loops they replace (modulo the
+/// compiler's uniform fp-contraction policy, which applies to both paths
+/// equally — hence the 1e-12 acceptance bound in the tests).
+///
+/// Build with -DSWCAM_VPACK_SCALAR to force width 1 (the scalar
+/// fallback): same code, same answers, one lane.
+
+namespace homme {
+
+#if defined(SWCAM_VPACK_SCALAR)
+inline constexpr int kVpackWidth = 1;
+#else
+inline constexpr int kVpackWidth = 4;
+#endif
+
+#if !defined(SWCAM_VPACK_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define SWCAM_VPACK_NATIVE 1
+#endif
+
+static_assert(mesh::kNpp % kVpackWidth == 0,
+              "vpack width must divide the GLL tile size");
+
+/// Packs per level tile (kNpp points).
+inline constexpr int kTilePacks = mesh::kNpp / kVpackWidth;
+
+struct vpack {
+  static constexpr int width = kVpackWidth;
+#if defined(SWCAM_VPACK_NATIVE)
+  typedef double lanes
+      __attribute__((vector_size(sizeof(double) * kVpackWidth)));
+  lanes v;
+#else
+  double v[kVpackWidth];
+#endif
+
+  static vpack load(const double* p) {
+    vpack r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(double* p) const { std::memcpy(p, &v, sizeof(v)); }
+
+  static vpack fill(double x) {
+    vpack r;
+    for (int i = 0; i < width; ++i) r.v[i] = x;
+    return r;
+  }
+  static vpack zero() { return fill(0.0); }
+
+  double operator[](int i) const { return v[i]; }
+
+#if defined(SWCAM_VPACK_NATIVE)
+  vpack& operator+=(const vpack& o) {
+    v += o.v;
+    return *this;
+  }
+  vpack& operator-=(const vpack& o) {
+    v -= o.v;
+    return *this;
+  }
+  vpack& operator*=(const vpack& o) {
+    v *= o.v;
+    return *this;
+  }
+  vpack& operator/=(const vpack& o) {
+    v /= o.v;
+    return *this;
+  }
+  friend vpack operator-(vpack a) {
+    a.v = -a.v;
+    return a;
+  }
+#else
+  vpack& operator+=(const vpack& o) {
+    for (int i = 0; i < width; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  vpack& operator-=(const vpack& o) {
+    for (int i = 0; i < width; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  vpack& operator*=(const vpack& o) {
+    for (int i = 0; i < width; ++i) v[i] *= o.v[i];
+    return *this;
+  }
+  vpack& operator/=(const vpack& o) {
+    for (int i = 0; i < width; ++i) v[i] /= o.v[i];
+    return *this;
+  }
+  friend vpack operator-(vpack a) {
+    for (int i = 0; i < vpack::width; ++i) a.v[i] = -a.v[i];
+    return a;
+  }
+#endif
+
+  friend vpack operator+(vpack a, const vpack& b) { return a += b; }
+  friend vpack operator-(vpack a, const vpack& b) { return a -= b; }
+  friend vpack operator*(vpack a, const vpack& b) { return a *= b; }
+  friend vpack operator/(vpack a, const vpack& b) { return a /= b; }
+
+  friend vpack operator*(double s, vpack a) { return a *= fill(s); }
+  friend vpack operator*(vpack a, double s) { return a *= fill(s); }
+  friend vpack operator+(vpack a, double s) { return a += fill(s); }
+};
+
+}  // namespace homme

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "homme/driver.hpp"
+#include "homme/init.hpp"
+#include "homme/ref_kernels.hpp"
+#include "homme/remap.hpp"
+#include "homme/rhs.hpp"
+#include "homme/scratch.hpp"
+#include "homme/vpack.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+namespace {
+
+using homme::Dims;
+using homme::fidx;
+using mesh::kNpp;
+
+// The vectorized kernels claim bit-identical-or-1e-12 agreement with the
+// frozen scalar reference (homme::ref::*) across resolutions, level
+// counts and moist/dry. These tests are that claim.
+
+constexpr double kTol = 1e-12;
+
+double rel_diff(double a, double b) {
+  return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-300});
+}
+
+void expect_state_close(const homme::State& a, const homme::State& b,
+                        const Dims& d, double tol) {
+  double worst = 0.0;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      worst = std::max({worst, rel_diff(a[e].u1[f], b[e].u1[f]),
+                        rel_diff(a[e].u2[f], b[e].u2[f]),
+                        rel_diff(a[e].T[f], b[e].T[f]),
+                        rel_diff(a[e].dp[f], b[e].dp[f])});
+    }
+    for (std::size_t f = 0; f < a[e].qdp.size(); ++f) {
+      worst = std::max(worst, rel_diff(a[e].qdp[f], b[e].qdp[f]));
+    }
+  }
+  EXPECT_LE(worst, tol);
+}
+
+/// A deformed but physical state: balanced flow plus smooth positive
+/// perturbations of dp and the tracers so the remap has real work to do.
+homme::State deformed_state(const mesh::CubedSphere& m, const Dims& d,
+                            unsigned seed) {
+  auto s = homme::solid_body_rotation(m, d, 40.0);
+  homme::init_tracers(m, d, s);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> pert(-0.2, 0.2);
+  for (auto& es : s) {
+    for (std::size_t f = 0; f < d.field_size(); ++f) {
+      es.dp[f] *= 1.0 + pert(rng);
+      es.T[f] += 5.0 * pert(rng);
+    }
+    for (std::size_t f = 0; f < es.qdp.size(); ++f) {
+      es.qdp[f] *= 1.0 + pert(rng);
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// vectorized vs scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(HostKernels, ColumnScansBitIdenticalToReference) {
+  for (int nlev : {10, 30, 72}) {
+    auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+    Dims d;
+    d.nlev = nlev;
+    d.qsize = 1;
+    auto s = deformed_state(m, d, 7u);
+    const std::size_t fs = d.field_size();
+    std::vector<double> p_ref(fs), phi_ref(fs), om_ref(fs);
+    std::vector<double> p_new(fs), phi_new(fs), om_new(fs);
+    for (const auto& es : s) {
+      homme::ref::column_pressure(nlev, es.dp.data(), p_ref.data());
+      homme::column_pressure(nlev, es.dp.data(), p_new.data());
+      homme::ref::column_geopotential(nlev, es.T.data(), es.dp.data(),
+                                      p_ref.data(), es.phis.data(),
+                                      phi_ref.data());
+      homme::column_geopotential(nlev, es.T.data(), es.dp.data(),
+                                 p_new.data(), es.phis.data(),
+                                 phi_new.data());
+      homme::ref::column_omega(nlev, es.dp.data(), om_ref.data());
+      homme::column_omega(nlev, es.dp.data(), om_new.data());
+      for (std::size_t f = 0; f < fs; ++f) {
+        // Same per-lane op sequence: the packs change data movement, not
+        // arithmetic, so the scans agree to the bit.
+        ASSERT_EQ(p_ref[f], p_new[f]);
+        ASSERT_EQ(phi_ref[f], phi_new[f]);
+        ASSERT_EQ(om_ref[f], om_new[f]);
+      }
+    }
+  }
+}
+
+TEST(HostKernels, RhsMatchesReferenceAcrossConfigs) {
+  for (int ne : {2, 4}) {
+    for (int nlev : {10, 30, 72}) {
+      for (bool moist : {false, true}) {
+        auto m = mesh::CubedSphere::build(ne, mesh::kEarthRadius);
+        Dims d;
+        d.nlev = nlev;
+        d.qsize = 2;
+        d.moist = moist;
+        auto s = deformed_state(m, d, 11u);
+        const double dt = homme::Dycore::stable_dt(m);
+        homme::State out_ref(s.size(), homme::ElementState(d));
+        homme::State out_new(s.size(), homme::ElementState(d));
+        homme::ref::compute_and_apply_rhs(m, d, s, s, dt, out_ref);
+        homme::compute_and_apply_rhs(m, d, s, s, dt, out_new);
+        expect_state_close(out_ref, out_new, d, kTol);
+      }
+    }
+  }
+}
+
+TEST(HostKernels, VerticalRemapMatchesReferenceAcrossConfigs) {
+  for (int ne : {2, 4}) {
+    for (int nlev : {10, 30, 72}) {
+      auto m = mesh::CubedSphere::build(ne, mesh::kEarthRadius);
+      Dims d;
+      d.nlev = nlev;
+      d.qsize = 2;
+      auto a = deformed_state(m, d, 23u);
+      auto b = a;
+      homme::ref::vertical_remap_local(d, a);
+      homme::vertical_remap_local(d, b);
+      expect_state_close(a, b, d, kTol);
+    }
+  }
+}
+
+TEST(HostKernels, RemapColumnMatchesReference) {
+  std::mt19937 rng(5u);
+  std::uniform_real_distribution<double> thick(0.5, 2.0);
+  std::uniform_real_distribution<double> val(0.1, 3.0);
+  for (int n : {10, 30, 72}) {
+    std::vector<double> src(static_cast<std::size_t>(n)),
+        tgt(static_cast<std::size_t>(n)), qa(static_cast<std::size_t>(n));
+    double s_mass = 0.0, t_mass = 0.0;
+    for (auto& v : src) s_mass += (v = thick(rng));
+    for (auto& v : tgt) t_mass += (v = thick(rng));
+    for (auto& v : tgt) v *= s_mass / t_mass;  // equal column mass
+    for (auto& v : qa) v = val(rng);
+    auto qb = qa;
+    homme::ref::remap_column(src, tgt, qa);
+    homme::remap_column(src, tgt, qb);
+    for (std::size_t k = 0; k < qa.size(); ++k) {
+      EXPECT_LE(rel_diff(qa[k], qb[k]), kTol);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// remap_column properties
+// ---------------------------------------------------------------------------
+
+TEST(RemapColumn, ConservesMassStaysPositiveAndBoundsOvershoot) {
+  std::mt19937 rng(17u);
+  std::uniform_real_distribution<double> thick(0.2, 3.0);
+  std::uniform_real_distribution<double> val(0.0, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 8 + trial % 40;
+    std::vector<double> src(static_cast<std::size_t>(n)),
+        tgt(static_cast<std::size_t>(n)), q(static_cast<std::size_t>(n));
+    double s_mass = 0.0, t_mass = 0.0;
+    for (auto& v : src) s_mass += (v = thick(rng));
+    for (auto& v : tgt) t_mass += (v = thick(rng));
+    for (auto& v : tgt) v *= s_mass / t_mass;
+    for (auto& v : q) v = val(rng);
+    const double hi = *std::max_element(q.begin(), q.end());
+    double mass_in = 0.0;
+    for (std::size_t k = 0; k < q.size(); ++k) mass_in += q[k] * src[k];
+
+    homme::remap_column(src, tgt, q);
+
+    double mass_out = 0.0;
+    for (std::size_t k = 0; k < q.size(); ++k) mass_out += q[k] * tgt[k];
+    EXPECT_NEAR(mass_out, mass_in, 1e-10 * std::max(1.0, mass_in));
+    // Nonnegative data gives a monotone cumulative integral, so the
+    // monotone fit keeps every target increment nonnegative; the
+    // Fritsch-Carlson limiter caps the interpolant's derivative at 3x the
+    // local cell average, so no target average exceeds 3x the data max.
+    for (double v : q) {
+      EXPECT_GE(v, -1e-12 * hi);
+      EXPECT_LE(v, 3.0 * hi * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(RemapColumn, IdentityRemapIsExactAndConstantsArePreserved) {
+  std::mt19937 rng(29u);
+  std::uniform_real_distribution<double> thick(0.3, 2.5);
+  std::uniform_real_distribution<double> val(0.1, 4.0);
+  for (int n : {8, 31, 72}) {
+    std::vector<double> src(static_cast<std::size_t>(n)),
+        tgt(static_cast<std::size_t>(n)), q(static_cast<std::size_t>(n));
+    double s_mass = 0.0, t_mass = 0.0;
+    for (auto& v : src) s_mass += (v = thick(rng));
+    for (auto& v : q) v = val(rng);
+
+    // src == tgt: every target interface is an interpolation node, so the
+    // differenced cumulative integral returns the input up to the
+    // cumsum/difference roundoff (which scales with total column mass).
+    auto id = q;
+    homme::remap_column(src, src, id);
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      EXPECT_NEAR(id[k], q[k], 1e-12 * (1.0 + std::abs(q[k])));
+    }
+
+    // A constant profile has a linear cumulative integral; the monotone
+    // cubic reproduces it on any target grid.
+    for (auto& v : tgt) t_mass += (v = thick(rng));
+    for (auto& v : tgt) v *= s_mass / t_mass;
+    std::fill(q.begin(), q.end(), 2.75);
+    homme::remap_column(src, tgt, q);
+    for (double v : q) EXPECT_NEAR(v, 2.75, 1e-12 * 2.75);
+  }
+}
+
+#ifdef NDEBUG
+// In debug builds the retained assert aborts first; the typed error is
+// the Release-mode surface.
+TEST(RemapColumn, MassMismatchThrowsTypedError) {
+  std::vector<double> src = {1.0, 1.0, 1.0, 1.0};
+  std::vector<double> tgt = {1.0, 1.0, 1.0, 2.0};  // 33% more mass
+  std::vector<double> q = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(homme::remap_column(src, tgt, q), homme::RemapError);
+}
+#endif
+
+TEST(RemapColumn, NonPositiveThicknessThrowsTypedError) {
+  std::vector<double> src = {1.0, -1.0, 1.0, 1.0};
+  std::vector<double> tgt = {0.5, 0.5, 0.5, 0.5};
+  std::vector<double> q = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(homme::remap_column(src, tgt, q), homme::RemapError);
+}
+
+TEST(VerticalRemap, FaultCorruptedThicknessThrowsTypedError) {
+  auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  Dims d;
+  d.nlev = 8;
+  d.qsize = 1;
+  auto s = deformed_state(m, d, 3u);
+  // An injected-fault-style corruption: one layer loses its mass. The old
+  // path divided by it and silently spread NaN through qdp.
+  s[1].dp[fidx(3, 5)] = -s[1].dp[fidx(3, 5)];
+  EXPECT_THROW(homme::vertical_remap_local(d, s), homme::RemapError);
+}
+
+// ---------------------------------------------------------------------------
+// ScratchArena
+// ---------------------------------------------------------------------------
+
+TEST(ScratchArena, FramesReuseTheSameMemory) {
+  homme::ScratchArena a;
+  a.require(64, 4);
+  double* first = nullptr;
+  {
+    homme::ScratchArena::Frame f(a);
+    auto x = a.alloc(32);
+    first = x.data();
+    EXPECT_EQ(a.used(), 32u);
+    EXPECT_EQ(a.depth(), 1);
+  }
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.depth(), 0);
+  {
+    homme::ScratchArena::Frame f(a);
+    auto y = a.alloc(16);
+    // Same hot memory, call after call: that is the point of the arena.
+    EXPECT_EQ(y.data(), first);
+  }
+  EXPECT_EQ(a.high_water(), 32u);
+}
+
+TEST(ScratchArena, NestedFramesRestoreInOrder) {
+  homme::ScratchArena a;
+  a.require(100);
+  homme::ScratchArena::Frame outer(a);
+  a.alloc(10);
+  {
+    homme::ScratchArena::Frame inner(a);
+    a.alloc(50);
+    EXPECT_EQ(a.used(), 60u);
+    EXPECT_EQ(a.depth(), 2);
+  }
+  EXPECT_EQ(a.used(), 10u);
+  EXPECT_EQ(a.depth(), 1);
+  EXPECT_EQ(a.high_water(), 60u);
+}
+
+TEST(ScratchArena, OverflowThrowsInsteadOfReallocating) {
+  homme::ScratchArena a;
+  a.require(16, 2);
+  homme::ScratchArena::Frame f(a);
+  auto live = a.alloc(12);
+  live[0] = 42.0;
+  EXPECT_THROW(a.alloc(8), homme::ScratchOverflow);
+  EXPECT_THROW(a.alloc_ptrs(3), homme::ScratchOverflow);
+  // The live span was not invalidated by the failed request.
+  EXPECT_EQ(live[0], 42.0);
+}
+
+TEST(ScratchArena, RequireWhileLiveThrows) {
+  homme::ScratchArena a;
+  a.require(16);
+  homme::ScratchArena::Frame f(a);
+  a.alloc(8);
+  EXPECT_THROW(a.require(1024), homme::ScratchOverflow);
+}
+
+TEST(ScratchArena, AllocZeroClears) {
+  homme::ScratchArena a;
+  a.require(8);
+  {
+    homme::ScratchArena::Frame f(a);
+    auto x = a.alloc(8);
+    for (auto& v : x) v = 1.5;
+  }
+  homme::ScratchArena::Frame f(a);
+  for (double v : a.alloc_zero(8)) EXPECT_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// vpack
+// ---------------------------------------------------------------------------
+
+TEST(Vpack, ElementwiseOpsMatchScalar) {
+  double a[homme::kVpackWidth], b[homme::kVpackWidth],
+      out[homme::kVpackWidth];
+  for (int i = 0; i < homme::kVpackWidth; ++i) {
+    a[i] = 1.5 * (i + 1);
+    b[i] = 0.25 * (i + 2);
+  }
+  const homme::vpack va = homme::vpack::load(a);
+  const homme::vpack vb = homme::vpack::load(b);
+  (va * vb + 2.0 * va - vb / va).store(out);
+  for (int i = 0; i < homme::kVpackWidth; ++i) {
+    EXPECT_EQ(out[i], a[i] * b[i] + 2.0 * a[i] - b[i] / a[i]);
+  }
+  (-va).store(out);
+  for (int i = 0; i < homme::kVpackWidth; ++i) EXPECT_EQ(out[i], -a[i]);
+  homme::vpack::fill(3.5).store(out);
+  for (int i = 0; i < homme::kVpackWidth; ++i) EXPECT_EQ(out[i], 3.5);
+}
+
+}  // namespace
