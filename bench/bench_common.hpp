@@ -20,13 +20,14 @@
 ///   --workers <n>    engine worker-pool size (ensemble benches)
 ///   --members <n>    ensemble member count
 ///   --latency-us <n> modeled per-step coupler/ingest stall, microseconds
+///   --ckpt-interval <k> full checkpoint image every k saves (deltas between)
 ///
-/// Parsing is strict: a flag with a missing, non-numeric, trailing-junk or
-/// below-minimum value aborts with a message on stderr (exit 2) instead of
-/// the old atoi behaviour, where "--steps abc" silently became the bench
-/// default and "--ne 4x" silently became 4. The unset sentinel is -1
-/// everywhere, and every _or accessor tests `>= 0`, so an explicit
-/// "--steps 0" now really means zero steps rather than "use the default".
+/// Parsing is strict: every value is read with strtol and must be a
+/// complete decimal integer within [min, 1e9] — a missing, non-numeric,
+/// trailing-junk or below-minimum value aborts with a message on stderr
+/// (exit 2). The unset sentinel is -1 everywhere, and every _or accessor
+/// tests `>= 0`, so an explicit "--steps 0" really means zero steps
+/// rather than "use the default".
 
 namespace bench {
 
@@ -39,6 +40,7 @@ struct BenchOptions {
   int workers = -1;        ///< --workers; -1 = bench default
   int members = -1;        ///< --members; -1 = bench default
   int latency_us = -1;     ///< --latency-us; -1 = bench default
+  int ckpt_interval = -1;  ///< --ckpt-interval; -1 = bench default
 
   int steps_or(int fallback) const { return steps >= 0 ? steps : fallback; }
   int ne_or(int fallback) const { return ne >= 0 ? ne : fallback; }
@@ -50,6 +52,9 @@ struct BenchOptions {
   }
   int latency_us_or(int fallback) const {
     return latency_us >= 0 ? latency_us : fallback;
+  }
+  int ckpt_interval_or(int fallback) const {
+    return ckpt_interval >= 0 ? ckpt_interval : fallback;
   }
 
   /// Extract (and remove) the shared flags so benchmark::Initialize only
@@ -90,6 +95,7 @@ struct BenchOptions {
     take_int("--workers", opts.workers, 1);
     take_int("--members", opts.members, 1);
     take_int("--latency-us", opts.latency_us, 0);
+    take_int("--ckpt-interval", opts.ckpt_interval, 1);
     return opts;
   }
 };

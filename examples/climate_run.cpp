@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   auto state = homme::baroclinic(mesh, dims, 25.0, 290.0, 4.0);
   for (auto& es : state) {  // moist boundary layer
-    auto q = es.q(0, dims);
+    auto q = es.q_mut(0, dims);
     for (int lev = 0; lev < dims.nlev; ++lev) {
       const double sigma = (lev + 0.5) / dims.nlev;
       for (int k = 0; k < mesh::kNpp; ++k) {

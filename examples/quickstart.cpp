@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
                                  /*amp=*/4.0);
   // Tracer 0 doubles as specific humidity for the physics.
   for (auto& es : state) {
-    auto q = es.q(0, dims);
+    auto q = es.q_mut(0, dims);
     for (int lev = 0; lev < dims.nlev; ++lev) {
       const double sigma = (lev + 0.5) / dims.nlev;
       for (int k = 0; k < mesh::kNpp; ++k) {

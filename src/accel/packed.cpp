@@ -94,13 +94,18 @@ void PackedElems::to_state(homme::State& s,
   const std::size_t fs = field_size();
   for (std::size_t i = 0; i < state_elems.size(); ++i) {
     auto& es = s[static_cast<std::size_t>(state_elems[i])];
-    std::copy(u1.begin() + i * fs, u1.begin() + (i + 1) * fs, es.u1.begin());
-    std::copy(u2.begin() + i * fs, u2.begin() + (i + 1) * fs, es.u2.begin());
-    std::copy(T.begin() + i * fs, T.begin() + (i + 1) * fs, es.T.begin());
-    std::copy(dp.begin() + i * fs, dp.begin() + (i + 1) * fs, es.dp.begin());
+    // COW write-back: mutable_span() un-shares each field before the copy.
+    std::copy(u1.begin() + i * fs, u1.begin() + (i + 1) * fs,
+              es.u1.mutable_span().begin());
+    std::copy(u2.begin() + i * fs, u2.begin() + (i + 1) * fs,
+              es.u2.mutable_span().begin());
+    std::copy(T.begin() + i * fs, T.begin() + (i + 1) * fs,
+              es.T.mutable_span().begin());
+    std::copy(dp.begin() + i * fs, dp.begin() + (i + 1) * fs,
+              es.dp.mutable_span().begin());
     const std::size_t qfs = static_cast<std::size_t>(qsize) * fs;
     std::copy(qdp.begin() + i * qfs, qdp.begin() + (i + 1) * qfs,
-              es.qdp.begin());
+              es.qdp.mutable_span().begin());
   }
 }
 

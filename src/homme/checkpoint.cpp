@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 namespace homme {
 
@@ -55,8 +57,7 @@ void put(std::vector<std::uint8_t>& out, T v) {
   out.insert(out.end(), p, p + sizeof(T));
 }
 
-void put_payload(std::vector<std::uint8_t>& out,
-                 const std::vector<double>& field) {
+void put_payload(std::vector<std::uint8_t>& out, std::span<const double> field) {
   put<std::uint64_t>(out, field.size());
   const auto* p = reinterpret_cast<const std::uint8_t*>(field.data());
   const std::size_t bytes = field.size() * sizeof(double);
@@ -92,8 +93,8 @@ struct Reader {
   }
 };
 
-void get_payload(Reader& r, std::vector<double>& field,
-                 std::size_t expected, const char* name, std::size_t elem) {
+void get_payload(Reader& r, Chunk& field, std::size_t expected,
+                 const char* name, std::size_t elem) {
   const auto count = r.get<std::uint64_t>();
   if (count != expected) {
     throw CheckpointError(
@@ -111,8 +112,18 @@ void get_payload(Reader& r, std::vector<double>& field,
         " of element " + std::to_string(elem) + " (stored " +
         std::to_string(stored) + ", computed " + std::to_string(actual) + ")");
   }
-  field.resize(count);
-  std::memcpy(field.data(), p, bytes);
+  field.assign_bytes(p, count);
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& image) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw CheckpointError("checkpoint: cannot open " + path + " for writing");
+  }
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+  if (!f) throw CheckpointError("checkpoint: short write to " + path);
 }
 
 }  // namespace
@@ -144,12 +155,12 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointInfo& info,
   put<std::uint32_t>(out, crc32(out.data(), out.size()));
 
   for (const ElementState& es : s) {
-    put_payload(out, es.u1);
-    put_payload(out, es.u2);
-    put_payload(out, es.T);
-    put_payload(out, es.dp);
-    put_payload(out, es.qdp);
-    put_payload(out, es.phis);
+    put_payload(out, es.u1.span());
+    put_payload(out, es.u2.span());
+    put_payload(out, es.T.span());
+    put_payload(out, es.dp.span());
+    put_payload(out, es.qdp.span());
+    put_payload(out, es.phis.span());
   }
   return out;
 }
@@ -218,13 +229,7 @@ CheckpointInfo deserialize_checkpoint(std::span<const std::uint8_t> image,
 
 void save_checkpoint(const std::string& path, const CheckpointInfo& info,
                      const State& s) {
-  const std::vector<std::uint8_t> image = serialize_checkpoint(info, s);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw CheckpointError("checkpoint: cannot open " + path +
-                                " for writing");
-  f.write(reinterpret_cast<const char*>(image.data()),
-          static_cast<std::streamsize>(image.size()));
-  if (!f) throw CheckpointError("checkpoint: short write to " + path);
+  write_file(path, serialize_checkpoint(info, s));
 }
 
 CheckpointInfo load_checkpoint(const std::string& path, State& s) {
@@ -243,6 +248,324 @@ std::string checkpoint_rank_path(const std::string& base, int rank) {
 }
 
 // ---------------------------------------------------------------------------
+// Delta checkpoints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string delta_path(const std::string& base, int k) {
+  return base + ".d" + std::to_string(k);
+}
+
+std::string full_path(const std::string& base) { return base + ".full"; }
+
+/// Expected double count of chunk \p id given the header dims.
+std::size_t chunk_expected_size(std::size_t id, const Dims& d) {
+  switch (id % kChunksPerElement) {
+    case 4:
+      return static_cast<std::size_t>(d.qsize) * d.field_size();
+    case 5:
+      return kNpp;
+    default:
+      return d.field_size();
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> chunk_crcs(const State& s) {
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(s.size() * kChunksPerElement);
+  for (std::size_t id = 0; id < s.size() * kChunksPerElement; ++id) {
+    const Chunk& c = state_chunk(s, id);
+    crcs.push_back(crc32(c.data(), c.size_bytes()));
+  }
+  return crcs;
+}
+
+std::vector<std::uint8_t> serialize_delta_checkpoint(
+    const CheckpointInfo& info, const State& s, std::uint64_t base_seq,
+    std::uint64_t seq, std::vector<std::uint32_t>& crcs,
+    std::uint64_t* chunks_written) {
+  if (info.nelem != s.size()) {
+    throw CheckpointError("delta checkpoint: info.nelem (" +
+                          std::to_string(info.nelem) + ") != state size (" +
+                          std::to_string(s.size()) + ")");
+  }
+  const std::size_t nchunks = s.size() * kChunksPerElement;
+  if (crcs.size() != nchunks) {
+    throw CheckpointError(
+        "delta checkpoint: CRC cache has " + std::to_string(crcs.size()) +
+        " entries, state has " + std::to_string(nchunks) + " chunks");
+  }
+
+  // Find the dirty set first (record count goes into the header).
+  std::vector<std::uint64_t> dirty;
+  for (std::size_t id = 0; id < nchunks; ++id) {
+    const Chunk& c = state_chunk(s, id);
+    const std::uint32_t crc = crc32(c.data(), c.size_bytes());
+    if (crc != crcs[id]) {
+      dirty.push_back(id);
+      crcs[id] = crc;
+    }
+  }
+
+  std::uint32_t flags = 0;
+  if (info.config.limit_tracers) flags |= kFlagLimitTracers;
+  if (info.config.hypervis_on) flags |= kFlagHypervisOn;
+  if (info.dims.moist) flags |= kFlagMoist;
+
+  std::vector<std::uint8_t> out;
+  put<std::uint32_t>(out, kDeltaMagic);
+  put<std::uint32_t>(out, kDeltaVersion);
+  put<std::uint64_t>(out, base_seq);
+  put<std::uint64_t>(out, seq);
+  put<std::uint64_t>(out, info.nelem);
+  put<std::int32_t>(out, info.dims.nlev);
+  put<std::int32_t>(out, info.dims.qsize);
+  put<std::uint32_t>(out, flags);
+  put<std::int32_t>(out, info.config.remap_freq);
+  put<std::int64_t>(out, info.step_count);
+  put<std::uint64_t>(out, info.rng_seed);
+  put<double>(out, info.config.dt);
+  put<double>(out, info.config.nu);
+  put<std::uint64_t>(out, dirty.size());
+  put<std::uint32_t>(out, crc32(out.data(), out.size()));
+
+  for (const std::uint64_t id : dirty) {
+    put<std::uint64_t>(out, id);
+    put_payload(out, state_chunk(s, static_cast<std::size_t>(id)).span());
+  }
+  if (chunks_written != nullptr) *chunks_written = dirty.size();
+  return out;
+}
+
+DeltaInfo apply_delta_checkpoint(std::span<const std::uint8_t> image,
+                                 State& s) {
+  Reader r{image};
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kDeltaMagic) {
+    throw CheckpointError("delta checkpoint: bad magic (not SWDK)");
+  }
+  const auto version = r.get<std::uint32_t>();
+  if (version != kDeltaVersion) {
+    throw CheckpointError("delta checkpoint: unsupported version " +
+                          std::to_string(version) + " (this build reads " +
+                          std::to_string(kDeltaVersion) + ")");
+  }
+
+  DeltaInfo di;
+  di.base_seq = r.get<std::uint64_t>();
+  di.seq = r.get<std::uint64_t>();
+  CheckpointInfo& info = di.info;
+  info.nelem = r.get<std::uint64_t>();
+  info.dims.nlev = r.get<std::int32_t>();
+  info.dims.qsize = r.get<std::int32_t>();
+  const auto flags = r.get<std::uint32_t>();
+  info.config.remap_freq = r.get<std::int32_t>();
+  info.step_count = r.get<std::int64_t>();
+  info.rng_seed = r.get<std::uint64_t>();
+  info.config.dt = r.get<double>();
+  info.config.nu = r.get<double>();
+  const auto nrecords = r.get<std::uint64_t>();
+  info.config.limit_tracers = (flags & kFlagLimitTracers) != 0;
+  info.config.hypervis_on = (flags & kFlagHypervisOn) != 0;
+  info.dims.moist = (flags & kFlagMoist) != 0;
+
+  const std::uint32_t stored_crc = r.get<std::uint32_t>();
+  const std::uint32_t actual_crc =
+      crc32(image.data(), r.pos - sizeof(std::uint32_t));
+  if (stored_crc != actual_crc) {
+    throw CheckpointError("delta checkpoint: header CRC mismatch (stored " +
+                          std::to_string(stored_crc) + ", computed " +
+                          std::to_string(actual_crc) + ")");
+  }
+  if (info.nelem != s.size()) {
+    throw CheckpointError(
+        "delta checkpoint: record is for " + std::to_string(info.nelem) +
+        " elements, state holds " + std::to_string(s.size()) +
+        " (chain applied out of order?)");
+  }
+  const std::size_t nchunks = s.size() * kChunksPerElement;
+
+  for (std::uint64_t rec = 0; rec < nrecords; ++rec) {
+    const auto id = r.get<std::uint64_t>();
+    if (id >= nchunks) {
+      throw CheckpointError("delta checkpoint: chunk id " +
+                            std::to_string(id) + " out of range (state has " +
+                            std::to_string(nchunks) + " chunks)");
+    }
+    const std::size_t expected =
+        chunk_expected_size(static_cast<std::size_t>(id), info.dims);
+    get_payload(r, state_chunk(s, static_cast<std::size_t>(id)), expected,
+                "chunk", static_cast<std::size_t>(id));
+  }
+  if (r.pos != image.size()) {
+    throw CheckpointError("delta checkpoint: " +
+                          std::to_string(image.size() - r.pos) +
+                          " trailing bytes after last record");
+  }
+  di.chunks_written = nrecords;
+  return di;
+}
+
+DeltaCheckpointWriter::SaveRecord DeltaCheckpointWriter::save(
+    const CheckpointInfo& info, const State& s) {
+  const std::size_t nchunks = s.size() * kChunksPerElement;
+  SaveRecord rec;
+  rec.seq = seq_++;
+  rec.chunks_total = nchunks;
+
+  const bool full = prev_crcs_.size() != nchunks ||
+                    delta_index_ + 1 >= full_interval_;
+  if (full) {
+    // Drop the previous chain's deltas before overwriting the full image:
+    // a crash between the two operations leaves the old full with no
+    // deltas — a consistent (if older) restore point.
+    for (int k = 1; std::remove(delta_path(base_, k).c_str()) == 0; ++k) {
+    }
+    const std::vector<std::uint8_t> image = serialize_checkpoint(info, s);
+    write_file(full_path(base_), image);
+    prev_crcs_ = chunk_crcs(s);
+    base_seq_ = rec.seq;
+    delta_index_ = 0;
+    rec.full = true;
+    rec.bytes = image.size();
+    rec.chunks_written = nchunks;
+    ++totals_.fulls;
+  } else {
+    std::uint64_t cw = 0;
+    const std::vector<std::uint8_t> image = serialize_delta_checkpoint(
+        info, s, base_seq_, rec.seq, prev_crcs_, &cw);
+    write_file(delta_path(base_, ++delta_index_), image);
+    rec.bytes = image.size();
+    rec.chunks_written = static_cast<std::size_t>(cw);
+    ++totals_.deltas;
+  }
+  ++totals_.saves;
+  totals_.bytes_written += rec.bytes;
+  totals_.chunks_written += rec.chunks_written;
+  totals_.chunk_slots += nchunks;
+  return rec;
+}
+
+CheckpointInfo DeltaCheckpointWriter::restore_chain(const std::string& base,
+                                                    State& s) {
+  CheckpointInfo info = load_checkpoint(full_path(base), s);
+  std::uint64_t chain_base = 0;
+  std::uint64_t prev_seq = 0;
+  for (int k = 1;; ++k) {
+    const std::string path = delta_path(base, k);
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f) break;
+    const std::streamsize n = f.tellg();
+    f.seekg(0);
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(n));
+    f.read(reinterpret_cast<char*>(image.data()), n);
+    if (!f) throw CheckpointError("checkpoint: short read from " + path);
+
+    const DeltaInfo di = apply_delta_checkpoint(image, s);
+    if (k == 1) {
+      chain_base = di.base_seq;
+    } else if (di.base_seq != chain_base || di.seq != prev_seq + 1) {
+      throw CheckpointError(
+          "delta checkpoint: broken chain at " + path + " (base_seq " +
+          std::to_string(di.base_seq) + ", seq " + std::to_string(di.seq) +
+          " after seq " + std::to_string(prev_seq) + ")");
+    }
+    prev_seq = di.seq;
+    info = di.info;
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncCheckpointWriter
+// ---------------------------------------------------------------------------
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(std::string base,
+                                             int full_interval,
+                                             std::size_t max_pending)
+    : writer_(std::move(base), full_interval),
+      max_pending_(max_pending > 0 ? max_pending : 1),
+      thread_([this] { writer_loop(); }) {}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_space_.notify_all();
+  cv_done_.notify_all();
+  thread_.join();
+}
+
+void AsyncCheckpointWriter::save(const CheckpointInfo& info, const State& s) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (error_ != nullptr) std::rethrow_exception(std::exchange(error_, nullptr));
+  if (queue_.size() >= max_pending_) {
+    ++stats_.blocked_saves;
+    cv_done_.wait(lk, [&] { return queue_.size() < max_pending_ || stop_; });
+    if (stop_) return;
+  }
+  // State copy = COW snapshot: O(nchunks) refcount bumps, no field data
+  // moves. The stepping thread's next write to any chunk un-shares it,
+  // leaving this snapshot's view frozen.
+  queue_.push_back(Pending{info, s});
+  cv_space_.notify_one();
+}
+
+void AsyncCheckpointWriter::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return (queue_.empty() && !busy_) || stop_; });
+  if (error_ != nullptr) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+AsyncCheckpointWriter::Stats AsyncCheckpointWriter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void AsyncCheckpointWriter::writer_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_space_.wait(lk, [&] { return !queue_.empty() || stop_; });
+    if (queue_.empty() && stop_) return;
+    Pending job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lk.unlock();
+
+    DeltaCheckpointWriter::SaveRecord rec{};
+    std::exception_ptr err;
+    try {
+      rec = writer_.save(job.info, job.snapshot);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    // Release the snapshot's chunk refs outside the lock.
+    job.snapshot.clear();
+
+    lk.lock();
+    busy_ = false;
+    if (err != nullptr) {
+      if (error_ == nullptr) error_ = err;
+    } else {
+      ++stats_.saves;
+      if (rec.full) {
+        ++stats_.fulls;
+      } else {
+        ++stats_.deltas;
+      }
+      stats_.bytes_written += rec.bytes;
+      stats_.chunks_written += rec.chunks_written;
+      stats_.chunk_slots += rec.chunks_total;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // StateMonitor
 // ---------------------------------------------------------------------------
 
@@ -250,12 +573,13 @@ std::optional<std::string> StateMonitor::check(const State& s) const {
   const int nlev = dims_.nlev;
   for (std::size_t e = 0; e < s.size(); ++e) {
     const ElementState& es = s[e];
-    const std::pair<const char*, const std::vector<double>*> fields[] = {
-        {"u1", &es.u1}, {"u2", &es.u2}, {"T", &es.T},
-        {"dp", &es.dp}, {"qdp", &es.qdp}, {"phis", &es.phis}};
+    const std::pair<const char*, std::span<const double>> fields[] = {
+        {"u1", es.u1.span()},   {"u2", es.u2.span()},
+        {"T", es.T.span()},     {"dp", es.dp.span()},
+        {"qdp", es.qdp.span()}, {"phis", es.phis.span()}};
     for (const auto& [name, vec] : fields) {
-      for (std::size_t f = 0; f < vec->size(); ++f) {
-        if (!std::isfinite((*vec)[f])) {
+      for (std::size_t f = 0; f < vec.size(); ++f) {
+        if (!std::isfinite(vec[f])) {
           return "non-finite " + std::string(name) + " at element " +
                  std::to_string(e) + ", lev " +
                  std::to_string(f / kNpp) + ", gll " +

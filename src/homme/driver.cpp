@@ -37,11 +37,15 @@ double smallest_gll_spacing(const mesh::CubedSphere& m) {
 void blend(const Dims& d, double a, const State& x, double b, const State& y,
            State& out) {
   for (std::size_t e = 0; e < out.size(); ++e) {
+    std::span<double> ou1 = out[e].u1.mutable_span(),
+                      ou2 = out[e].u2.mutable_span(),
+                      oT = out[e].T.mutable_span(),
+                      odp = out[e].dp.mutable_span();
     for (std::size_t f = 0; f < d.field_size(); ++f) {
-      out[e].u1[f] = a * x[e].u1[f] + b * y[e].u1[f];
-      out[e].u2[f] = a * x[e].u2[f] + b * y[e].u2[f];
-      out[e].T[f] = a * x[e].T[f] + b * y[e].T[f];
-      out[e].dp[f] = a * x[e].dp[f] + b * y[e].dp[f];
+      ou1[f] = a * x[e].u1[f] + b * y[e].u1[f];
+      ou2[f] = a * x[e].u2[f] + b * y[e].u2[f];
+      oT[f] = a * x[e].T[f] + b * y[e].T[f];
+      odp[f] = a * x[e].dp[f] + b * y[e].dp[f];
     }
   }
 }

@@ -27,11 +27,13 @@ void dss_vector_levels(const mesh::CubedSphere& m,
                        std::span<double* const> u2, int nlev);
 
 /// Convenience: build the per-element pointer table for a member field.
+/// DSS writes in place, so this takes the write path: each chunk is
+/// un-shared (COW) up front if a forked member still aliases it.
 template <typename StateVec, typename Member>
 std::vector<double*> field_ptrs(StateVec& state, Member member) {
   std::vector<double*> p;
   p.reserve(state.size());
-  for (auto& es : state) p.push_back((es.*member).data());
+  for (auto& es : state) p.push_back((es.*member).mutable_span().data());
   return p;
 }
 

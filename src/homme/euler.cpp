@@ -121,7 +121,7 @@ void euler_step(const mesh::CubedSphere& m, const Dims& d, State& s,
     }
 
     for (std::size_t e = 0; e < ne; ++e) {
-      auto dst = s[e].q(q, d);
+      auto dst = s[e].q_mut(q, d);
       std::copy(qs.begin() + e * fs, qs.begin() + (e + 1) * fs, dst.begin());
     }
   }

@@ -1,0 +1,50 @@
+#include "homme/field_store.hpp"
+
+#include <unordered_map>
+
+#include "homme/state.hpp"
+
+namespace homme {
+
+StoreStats FieldStore::stats() const {
+  StoreStats st;
+  // Per distinct payload: how many handles *this store* holds vs. the
+  // global refcount — a payload is exclusive when the store owns every
+  // reference (e.g. stage buffers all aliasing one zero-fill proto).
+  struct Entry {
+    std::size_t handles = 0;
+    std::size_t bytes = 0;
+    std::uint32_t refs = 0;
+  };
+  std::unordered_map<const void*, Entry> bufs;
+  double resident = 0.0;
+  auto add = [&](const Chunk& c) {
+    ++st.chunks;
+    st.logical_bytes += c.size_bytes();
+    const std::uint32_t refs = c.use_count();
+    if (refs > 1) ++st.shared_chunks;
+    if (refs != 0) {
+      resident += static_cast<double>(c.size_bytes()) / refs;
+      Entry& e = bufs[c.buffer_id()];
+      ++e.handles;
+      e.bytes = c.size_bytes();
+      e.refs = refs;
+    }
+  };
+  for (const ElementState& es : *this) {
+    add(es.u1);
+    add(es.u2);
+    add(es.T);
+    add(es.dp);
+    add(es.qdp);
+    add(es.phis);
+  }
+  st.resident_bytes = static_cast<std::size_t>(resident + 0.5);
+  for (const auto& [id, e] : bufs) {
+    (void)id;
+    if (e.handles == e.refs) st.exclusive_bytes += e.bytes;
+  }
+  return st;
+}
+
+}  // namespace homme

@@ -72,10 +72,12 @@ void cart_to_wind(const mesh::CubedSphere& m, const Dims& d,
   for (int e = 0; e < m.nelem(); ++e) {
     const std::size_t se = static_cast<std::size_t>(e);
     const auto& g = m.geom(e);
+    std::span<double> u1 = s[se].u1.mutable_span();
+    std::span<double> u2 = s[se].u2.mutable_span();
     for (int lev = 0; lev < d.nlev; ++lev) {
       cart_to_contra(g, x[se] + fidx(lev, 0), y[se] + fidx(lev, 0),
-                     z[se] + fidx(lev, 0), s[se].u1.data() + fidx(lev, 0),
-                     s[se].u2.data() + fidx(lev, 0));
+                     z[se] + fidx(lev, 0), u1.data() + fidx(lev, 0),
+                     u2.data() + fidx(lev, 0));
     }
   }
 }

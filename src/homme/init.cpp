@@ -35,6 +35,9 @@ State with_ps_and_wind(const mesh::CubedSphere& m, const Dims& d,
   for (int e = 0; e < m.nelem(); ++e) {
     const auto& g = m.geom(e);
     ElementState es(d);
+    std::span<double> dp = es.dp.mutable_span(), T = es.T.mutable_span(),
+                      eu1 = es.u1.mutable_span(), eu2 = es.u2.mutable_span(),
+                      phis = es.phis.mutable_span();
     for (int k = 0; k < kNpp; ++k) {
       const std::size_t sk = static_cast<std::size_t>(k);
       const double ps = ps_of(g.lat[sk], g.lon[sk]);
@@ -42,14 +45,14 @@ State with_ps_and_wind(const mesh::CubedSphere& m, const Dims& d,
       wind_to_contra(g, k, u_of(g.lat[sk], g.lon[sk]), 0.0, u1, u2);
       for (int lev = 0; lev < d.nlev; ++lev) {
         const std::size_t f = fidx(lev, k);
-        es.dp[f] = hc.dp_ref(lev, ps);
+        dp[f] = hc.dp_ref(lev, ps);
         const double p =
             0.5 * (hc.p_int(lev, ps) + hc.p_int(lev + 1, ps));
-        es.T[f] = t_of(g.lat[sk], g.lon[sk], p);
-        es.u1[f] = u1;
-        es.u2[f] = u2;
+        T[f] = t_of(g.lat[sk], g.lon[sk], p);
+        eu1[f] = u1;
+        eu2[f] = u2;
       }
-      es.phis[sk] = 0.0;
+      phis[sk] = 0.0;
     }
     s.push_back(std::move(es));
   }
@@ -108,7 +111,7 @@ void init_tracers(const mesh::CubedSphere& m, const Dims& d, State& s) {
     auto& es = s[static_cast<std::size_t>(e)];
     const auto& g = m.geom(e);
     for (int q = 0; q < d.qsize; ++q) {
-      auto qf = es.q(q, d);
+      auto qf = es.q_mut(q, d);
       const double lon_c = 2.0 * M_PI * q / d.qsize - M_PI;
       for (int k = 0; k < kNpp; ++k) {
         const std::size_t sk = static_cast<std::size_t>(k);

@@ -79,15 +79,17 @@ void ParallelDycore::rhs_stage(net::Rank& r, const State& base,
     element_rhs(mesh_.geom(bx_.global_elem(le)), dims_, eval[sle], tend);
     ElementState& o = out[sle];
     const ElementState& b = base[sle];
+    std::span<double> ou1 = o.u1.mutable_span(), ou2 = o.u2.mutable_span(),
+                      oT = o.T.mutable_span(), odp = o.dp.mutable_span();
     for (std::size_t f = 0; f < dims_.field_size(); f += vpack::width) {
       (vpack::load(b.u1.data() + f) + dt * vpack::load(tend.u1.data() + f))
-          .store(o.u1.data() + f);
+          .store(ou1.data() + f);
       (vpack::load(b.u2.data() + f) + dt * vpack::load(tend.u2.data() + f))
-          .store(o.u2.data() + f);
+          .store(ou2.data() + f);
       (vpack::load(b.T.data() + f) + dt * vpack::load(tend.T.data() + f))
-          .store(o.T.data() + f);
+          .store(oT.data() + f);
       (vpack::load(b.dp.data() + f) + dt * vpack::load(tend.dp.data() + f))
-          .store(o.dp.data() + f);
+          .store(odp.data() + f);
     }
     o.phis = b.phis;
   }
@@ -140,7 +142,7 @@ void ParallelDycore::euler_stage(net::Rank& r, State& s, double dt) {
       }
     }
     for (std::size_t le = 0; le < sn; ++le) {
-      auto dst = s[le].q(q, dims_);
+      auto dst = s[le].q_mut(q, dims_);
       std::copy(qs.begin() + le * fs, qs.begin() + (le + 1) * fs,
                 dst.begin());
     }
@@ -226,11 +228,12 @@ void ParallelDycore::hypervis(net::Rank& r, State& s) {
   for (int le = 0; le < n; ++le) {
     const std::size_t sle = static_cast<std::size_t>(le);
     const auto& g = mesh_.geom(bx_.global_elem(le));
+    std::span<double> su1 = s[sle].u1.mutable_span(),
+                      su2 = s[sle].u2.mutable_span();
     for (int lev = 0; lev < dims_.nlev; ++lev) {
       cart_to_contra(g, px[sle] + fidx(lev, 0), py[sle] + fidx(lev, 0),
-                     pz[sle] + fidx(lev, 0),
-                     s[sle].u1.data() + fidx(lev, 0),
-                     s[sle].u2.data() + fidx(lev, 0));
+                     pz[sle] + fidx(lev, 0), su1.data() + fidx(lev, 0),
+                     su2.data() + fidx(lev, 0));
     }
   }
 
@@ -264,11 +267,15 @@ void ParallelDycore::step(net::Rank& r, State& s) {
     rhs_stage(r, stage1_, stage1_, dt, stage2_);
   }
   for (std::size_t e = 0; e < s.size(); ++e) {
+    std::span<double> t1u1 = stage1_[e].u1.mutable_span(),
+                      t1u2 = stage1_[e].u2.mutable_span(),
+                      t1T = stage1_[e].T.mutable_span(),
+                      t1dp = stage1_[e].dp.mutable_span();
     for (std::size_t f = 0; f < dims_.field_size(); ++f) {
-      stage1_[e].u1[f] = 0.75 * s[e].u1[f] + 0.25 * stage2_[e].u1[f];
-      stage1_[e].u2[f] = 0.75 * s[e].u2[f] + 0.25 * stage2_[e].u2[f];
-      stage1_[e].T[f] = 0.75 * s[e].T[f] + 0.25 * stage2_[e].T[f];
-      stage1_[e].dp[f] = 0.75 * s[e].dp[f] + 0.25 * stage2_[e].dp[f];
+      t1u1[f] = 0.75 * s[e].u1[f] + 0.25 * stage2_[e].u1[f];
+      t1u2[f] = 0.75 * s[e].u2[f] + 0.25 * stage2_[e].u2[f];
+      t1T[f] = 0.75 * s[e].T[f] + 0.25 * stage2_[e].T[f];
+      t1dp[f] = 0.75 * s[e].dp[f] + 0.25 * stage2_[e].dp[f];
     }
   }
   {
@@ -276,11 +283,15 @@ void ParallelDycore::step(net::Rank& r, State& s) {
     rhs_stage(r, stage1_, stage1_, dt, stage2_);
   }
   for (std::size_t e = 0; e < s.size(); ++e) {
+    std::span<double> su1 = s[e].u1.mutable_span(),
+                      su2 = s[e].u2.mutable_span(),
+                      sT = s[e].T.mutable_span(),
+                      sdp = s[e].dp.mutable_span();
     for (std::size_t f = 0; f < dims_.field_size(); ++f) {
-      s[e].u1[f] = s[e].u1[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u1[f];
-      s[e].u2[f] = s[e].u2[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u2[f];
-      s[e].T[f] = s[e].T[f] / 3.0 + 2.0 / 3.0 * stage2_[e].T[f];
-      s[e].dp[f] = s[e].dp[f] / 3.0 + 2.0 / 3.0 * stage2_[e].dp[f];
+      su1[f] = su1[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u1[f];
+      su2[f] = su2[f] / 3.0 + 2.0 / 3.0 * stage2_[e].u2[f];
+      sT[f] = sT[f] / 3.0 + 2.0 / 3.0 * stage2_[e].T[f];
+      sdp[f] = sdp[f] / 3.0 + 2.0 / 3.0 * stage2_[e].dp[f];
     }
   }
 

@@ -150,11 +150,13 @@ void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
     element_rhs(m.geom(e), d, eval[se], tend);
     ElementState& o = out[se];
     const ElementState& b = base[se];
+    std::span<double> ou1 = o.u1.mutable_span(), ou2 = o.u2.mutable_span(),
+                      oT = o.T.mutable_span(), odp = o.dp.mutable_span();
     for (std::size_t f = 0; f < d.field_size(); ++f) {
-      o.u1[f] = b.u1[f] + dt * tend.u1[f];
-      o.u2[f] = b.u2[f] + dt * tend.u2[f];
-      o.T[f] = b.T[f] + dt * tend.T[f];
-      o.dp[f] = b.dp[f] + dt * tend.dp[f];
+      ou1[f] = b.u1[f] + dt * tend.u1[f];
+      ou2[f] = b.u2[f] + dt * tend.u2[f];
+      oT[f] = b.T[f] + dt * tend.T[f];
+      odp[f] = b.dp[f] + dt * tend.dp[f];
     }
     o.phis = b.phis;
   }
@@ -256,6 +258,8 @@ void vertical_remap_local(const Dims& d, State& s) {
 
   for (std::size_t e = 0; e < s.size(); ++e) {
     ElementState& es = s[e];
+    std::span<double> fu1 = es.u1.mutable_span(), fu2 = es.u2.mutable_span(),
+                      fT = es.T.mutable_span(), fdp = es.dp.mutable_span();
     for (int k = 0; k < kNpp; ++k) {
       double ps = kPtop;
       for (int lev = 0; lev < nlev; ++lev) {
@@ -266,7 +270,7 @@ void vertical_remap_local(const Dims& d, State& s) {
         tgt[static_cast<std::size_t>(lev)] = hc.dp_ref(lev, ps);
       }
 
-      auto remap_field = [&](std::vector<double>& field) {
+      auto remap_field = [&](std::span<double> field) {
         for (int lev = 0; lev < nlev; ++lev) {
           col[static_cast<std::size_t>(lev)] = field[fidx(lev, k)];
         }
@@ -275,11 +279,11 @@ void vertical_remap_local(const Dims& d, State& s) {
           field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
         }
       };
-      remap_field(es.u1);
-      remap_field(es.u2);
-      remap_field(es.T);
+      remap_field(fu1);
+      remap_field(fu2);
+      remap_field(fT);
       for (int q = 0; q < d.qsize; ++q) {
-        auto qf = es.q(q, d);
+        auto qf = es.q_mut(q, d);
         for (int lev = 0; lev < nlev; ++lev) {
           col[static_cast<std::size_t>(lev)] =
               qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
@@ -291,7 +295,7 @@ void vertical_remap_local(const Dims& d, State& s) {
         }
       }
       for (int lev = 0; lev < nlev; ++lev) {
-        es.dp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
+        fdp[fidx(lev, k)] = tgt[static_cast<std::size_t>(lev)];
       }
     }
   }

@@ -235,6 +235,11 @@ void vertical_remap_local(const Dims& d, State& s) {
       }
     }
 
+    // Every prognostic field of this element is rewritten below; un-share
+    // them once up front rather than per column.
+    std::span<double> fu1 = es.u1.mutable_span(), fu2 = es.u2.mutable_span(),
+                      fT = es.T.mutable_span(), fdp = es.dp.mutable_span();
+
     for (int k = 0; k < kNpp; ++k) {
       for (int lev = 0; lev <= nlev; ++lev) {
         xs[static_cast<std::size_t>(lev)] = xs_soa[fidx(lev, k)];
@@ -297,12 +302,12 @@ void vertical_remap_local(const Dims& d, State& s) {
           field[fidx(lev, k)] = col[static_cast<std::size_t>(lev)];
         }
       };
-      remap_field(es.u1.data());
-      remap_field(es.u2.data());
-      remap_field(es.T.data());
+      remap_field(fu1.data());
+      remap_field(fu2.data());
+      remap_field(fT.data());
       for (int q = 0; q < d.qsize; ++q) {
         // Tracers are carried as qdp; remap the mixing ratio and rebuild.
-        auto qf = es.q(q, d);
+        auto qf = es.q_mut(q, d);
         for (int lev = 0; lev < nlev; ++lev) {
           col[static_cast<std::size_t>(lev)] =
               qf[fidx(lev, k)] / src[static_cast<std::size_t>(lev)];
@@ -314,7 +319,7 @@ void vertical_remap_local(const Dims& d, State& s) {
         }
       }
       for (int lev = 0; lev < nlev; ++lev) {
-        es.dp[fidx(lev, k)] = tgt_soa[fidx(lev, k)];
+        fdp[fidx(lev, k)] = tgt_soa[fidx(lev, k)];
       }
     }
   }

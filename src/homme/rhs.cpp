@@ -186,15 +186,17 @@ void compute_and_apply_rhs(const mesh::CubedSphere& m, const Dims& d,
     element_rhs(m.geom(e), d, eval[se], tend);
     ElementState& o = out[se];
     const ElementState& b = base[se];
+    std::span<double> ou1 = o.u1.mutable_span(), ou2 = o.u2.mutable_span(),
+                      oT = o.T.mutable_span(), odp = o.dp.mutable_span();
     for (std::size_t f = 0; f < d.field_size(); f += vpack::width) {
       (vpack::load(b.u1.data() + f) + dt * vpack::load(tend.u1.data() + f))
-          .store(o.u1.data() + f);
+          .store(ou1.data() + f);
       (vpack::load(b.u2.data() + f) + dt * vpack::load(tend.u2.data() + f))
-          .store(o.u2.data() + f);
+          .store(ou2.data() + f);
       (vpack::load(b.T.data() + f) + dt * vpack::load(tend.T.data() + f))
-          .store(o.T.data() + f);
+          .store(oT.data() + f);
       (vpack::load(b.dp.data() + f) + dt * vpack::load(tend.dp.data() + f))
-          .store(o.dp.data() + f);
+          .store(odp.data() + f);
     }
     o.phis = b.phis;
   }

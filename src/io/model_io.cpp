@@ -159,11 +159,9 @@ homme::State read_restart(const std::string& path, const homme::Dims& d) {
     const auto& f = r.get(name);
     std::size_t pos = 0;
     for (auto& es : s) {
-      auto& v = es.*member;
-      std::copy(f.data.begin() + static_cast<std::ptrdiff_t>(pos),
-                f.data.begin() + static_cast<std::ptrdiff_t>(pos + v.size()),
-                v.begin());
-      pos += v.size();
+      const std::size_t n = (es.*member).size();
+      (es.*member).assign(f.data.data() + pos, n);
+      pos += n;
     }
   };
   unpack("u1", &homme::ElementState::u1);

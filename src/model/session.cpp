@@ -67,6 +67,17 @@ void SessionConfig::validate() const {
     throw ConfigError("SessionConfig: checkpoint cadence needs a "
                       "checkpoint_base path");
   }
+  if (ckpt_full_interval < 0) {
+    throw ConfigError("SessionConfig: ckpt_full_interval must be >= 0");
+  }
+  if (ckpt_full_interval > 0 && checkpoint_base.empty()) {
+    throw ConfigError("SessionConfig: delta checkpoints need a "
+                      "checkpoint_base path");
+  }
+  if (ckpt_full_interval > 0 && nranks > 1) {
+    throw ConfigError("SessionConfig: delta checkpoints are only supported "
+                      "on sequential sessions (nranks == 1)");
+  }
   if (watchdog_s < 0.0) {
     throw ConfigError("SessionConfig: watchdog_s must be >= 0");
   }
@@ -196,6 +207,70 @@ void Session::build() {
   if (cfg_.monitor) {
     monitor_ = std::make_unique<homme::StateMonitor>(dims_);
   }
+  init_ckpt_writer();
+}
+
+void Session::init_ckpt_writer() {
+  if (cfg_.nranks == 1 && cfg_.ckpt_full_interval > 0 &&
+      !cfg_.checkpoint_base.empty()) {
+    ckpt_writer_ = std::make_unique<homme::AsyncCheckpointWriter>(
+        cfg_.checkpoint_base, cfg_.ckpt_full_interval);
+  }
+}
+
+Session::Session(const Session& parent, const std::string& checkpoint_base,
+                 ForkTag)
+    : cfg_(parent.cfg_),
+      bundle_(parent.bundle_),
+      dims_(parent.dims_),
+      step_count_(parent.step_count_) {
+  // fork() has already rejected parallel parents. A child never inherits
+  // the parent's checkpoint chain — same base would mean both sessions
+  // overwrite one file set.
+  if (checkpoint_base.empty()) {
+    cfg_.checkpoint_freq = 0;
+    cfg_.checkpoint_base.clear();
+    cfg_.ckpt_full_interval = 0;
+  } else {
+    cfg_.checkpoint_base = checkpoint_base;
+  }
+  tracer_ = std::make_unique<obs::Tracer>(cfg_.trace_domain);
+  tracer_->enable(cfg_.trace);
+
+  homme::DycoreConfig dcfg = cfg_.dycore_config();
+  dcfg.dt = parent.dycore_->dt();  // resolved values, not the auto markers
+  dcfg.nu = parent.dycore_->nu();
+  dycore_ = std::make_unique<homme::Dycore>(bundle_->mesh, dims_, dcfg);
+  dycore_->set_tracer(tracer_.get());
+  dycore_->set_step_count(step_count_);
+  // The fork itself: alias every chunk of the parent's state. The child's
+  // (or parent's) first write to a field un-shares just that chunk.
+  state_ = parent.state_;
+
+  if (cfg_.backend == SessionConfig::Backend::kPipeline) {
+    accels_.push_back(std::make_unique<accel::PipelineAccelerator>(
+        bundle_->mesh, dims_));
+    accels_[0]->set_tracer(tracer_.get(), "accel");
+    accels_[0]->set_fault_plan(cfg_.faults);
+    dycore_->attach_accelerator(accels_[0].get());
+  }
+  if (cfg_.physics) {
+    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_);
+  }
+  if (cfg_.monitor) {
+    monitor_ = std::make_unique<homme::StateMonitor>(dims_);
+  }
+  init_ckpt_writer();
+}
+
+std::unique_ptr<Session> Session::fork(
+    const std::string& checkpoint_base) const {
+  if (cfg_.nranks != 1) {
+    throw ConfigError("Session::fork: only sequential sessions "
+                      "(nranks == 1) can fork");
+  }
+  return std::unique_ptr<Session>(
+      new Session(*this, checkpoint_base, ForkTag{}));
 }
 
 double Session::dt() const {
@@ -238,7 +313,11 @@ void Session::run(int n) {
     step();
     if (cfg_.checkpoint_freq > 0 &&
         step_count_ % cfg_.checkpoint_freq == 0) {
-      save(cfg_.checkpoint_base);
+      if (ckpt_writer_ != nullptr) {
+        save();  // async delta chain; serialization off this thread
+      } else {
+        save(cfg_.checkpoint_base);
+      }
     }
   }
 }
@@ -288,18 +367,22 @@ void Session::set_state(const homme::State& global) {
   }
 }
 
+homme::CheckpointInfo Session::checkpoint_info() const {
+  homme::CheckpointInfo info;
+  info.nelem = state_.size();
+  info.dims = dims_;
+  info.config = cfg_.dycore_config();
+  info.config.dt = dycore_->dt();  // the resolved (auto-picked) values
+  info.config.nu = dycore_->nu();
+  info.step_count = step_count_;
+  info.rng_seed = cfg_.faults != nullptr ? cfg_.faults->seed() : 0;
+  return info;
+}
+
 void Session::save(const std::string& base) {
   if (cfg_.nranks == 1) {
-    homme::CheckpointInfo info;
-    info.nelem = state_.size();
-    info.dims = dims_;
-    info.config = cfg_.dycore_config();
-    info.config.dt = dycore_->dt();  // the resolved (auto-picked) values
-    info.config.nu = dycore_->nu();
-    info.step_count = step_count_;
-    info.rng_seed = cfg_.faults != nullptr ? cfg_.faults->seed() : 0;
-    homme::save_checkpoint(homme::checkpoint_rank_path(base, 0), info,
-                           state_);
+    homme::save_checkpoint(homme::checkpoint_rank_path(base, 0),
+                           checkpoint_info(), state_);
     return;
   }
   cluster_->run([&](net::Rank& r) {
@@ -309,37 +392,42 @@ void Session::save(const std::string& base) {
   });
 }
 
+void Session::adopt_restored(const homme::CheckpointInfo& info,
+                             homme::State&& s, const std::string& what) {
+  if (info.dims.nlev != dims_.nlev || info.dims.qsize != dims_.qsize ||
+      info.dims.moist != dims_.moist) {
+    throw homme::CheckpointError(
+        what + ": dims mismatch (file nlev=" +
+        std::to_string(info.dims.nlev) + " qsize=" +
+        std::to_string(info.dims.qsize) + ", session nlev=" +
+        std::to_string(dims_.nlev) + " qsize=" +
+        std::to_string(dims_.qsize) + ")");
+  }
+  if (info.nelem != state_.size()) {
+    throw homme::CheckpointError(
+        what + ": element count mismatch (file has " +
+        std::to_string(info.nelem) + ", session owns " +
+        std::to_string(state_.size()) + ")");
+  }
+  if (info.config.dt != dycore_->dt() || info.config.nu != dycore_->nu() ||
+      info.config.remap_freq != cfg_.remap_freq) {
+    throw homme::CheckpointError(
+        what + ": config mismatch (file dt=" +
+        std::to_string(info.config.dt) + " nu=" +
+        std::to_string(info.config.nu) + " remap_freq=" +
+        std::to_string(info.config.remap_freq) + ")");
+  }
+  state_ = std::move(s);
+  step_count_ = static_cast<int>(info.step_count);
+  dycore_->set_step_count(step_count_);
+}
+
 void Session::restore(const std::string& base) {
   if (cfg_.nranks == 1) {
     homme::State loaded;
     const homme::CheckpointInfo info = homme::load_checkpoint(
         homme::checkpoint_rank_path(base, 0), loaded);
-    if (info.dims.nlev != dims_.nlev || info.dims.qsize != dims_.qsize ||
-        info.dims.moist != dims_.moist) {
-      throw homme::CheckpointError(
-          "Session::restore: dims mismatch (file nlev=" +
-          std::to_string(info.dims.nlev) + " qsize=" +
-          std::to_string(info.dims.qsize) + ", session nlev=" +
-          std::to_string(dims_.nlev) + " qsize=" +
-          std::to_string(dims_.qsize) + ")");
-    }
-    if (info.nelem != state_.size()) {
-      throw homme::CheckpointError(
-          "Session::restore: element count mismatch (file has " +
-          std::to_string(info.nelem) + ", session owns " +
-          std::to_string(state_.size()) + ")");
-    }
-    if (info.config.dt != dycore_->dt() || info.config.nu != dycore_->nu() ||
-        info.config.remap_freq != cfg_.remap_freq) {
-      throw homme::CheckpointError(
-          "Session::restore: config mismatch (file dt=" +
-          std::to_string(info.config.dt) + " nu=" +
-          std::to_string(info.config.nu) + " remap_freq=" +
-          std::to_string(info.config.remap_freq) + ")");
-    }
-    state_ = std::move(loaded);
-    step_count_ = static_cast<int>(info.step_count);
-    dycore_->set_step_count(step_count_);
+    adopt_restored(info, std::move(loaded), "Session::restore");
     return;
   }
   cluster_->run([&](net::Rank& r) {
@@ -347,6 +435,41 @@ void Session::restore(const std::string& base) {
     pds_[i]->restore(r, locals_[i], base);
   });
   step_count_ = pds_[0]->step_count();
+}
+
+void Session::save() {
+  if (ckpt_writer_ == nullptr) {
+    throw ConfigError("Session::save(): no delta-checkpoint writer — "
+                      "configure with_delta_checkpoints() on a sequential "
+                      "session");
+  }
+  ckpt_writer_->save(checkpoint_info(), state_);
+}
+
+void Session::restore() {
+  if (ckpt_writer_ == nullptr) {
+    throw ConfigError("Session::restore(): no delta-checkpoint writer — "
+                      "configure with_delta_checkpoints() on a sequential "
+                      "session");
+  }
+  ckpt_writer_->drain();  // the chain on disk must include every save()
+  homme::State loaded;
+  const homme::CheckpointInfo info =
+      homme::DeltaCheckpointWriter::restore_chain(ckpt_writer_->base(),
+                                                  loaded);
+  adopt_restored(info, std::move(loaded), "Session::restore");
+}
+
+homme::StoreStats Session::store_stats() const {
+  if (cfg_.nranks == 1) return state_.stats();
+  homme::StoreStats total;
+  for (const auto& local : locals_) total += local.stats();
+  return total;
+}
+
+homme::AsyncCheckpointWriter::Stats Session::checkpoint_stats() const {
+  return ckpt_writer_ != nullptr ? ckpt_writer_->stats()
+                                 : homme::AsyncCheckpointWriter::Stats{};
 }
 
 int Session::fallbacks() const {

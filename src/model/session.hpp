@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "homme/checkpoint.hpp"
 #include "homme/driver.hpp"
 #include "homme/parallel_driver.hpp"
 #include "mesh/cubed_sphere.hpp"
@@ -91,6 +92,11 @@ struct SessionConfig {
   sw::FaultPlan* faults = nullptr;  ///< injected kernel/message faults
   int checkpoint_freq = 0;          ///< steps; 0 disables the cadence
   std::string checkpoint_base;      ///< required when checkpoint_freq > 0
+  /// 0: the cadence writes legacy full "<base>.r<rank>" images in the step
+  /// loop. K >= 1: sequential sessions checkpoint through the async delta
+  /// writer instead — a full "<base>.full" image every K saves, dirty-chunk
+  /// "<base>.dN" records between, serialized off the stepping thread.
+  int ckpt_full_interval = 0;
   bool monitor = false;             ///< StateMonitor after every step
 
   // -- observability --------------------------------------------------------
@@ -128,6 +134,11 @@ struct SessionConfig {
   }
   SessionConfig& with_checkpoints(std::string base, int freq) {
     checkpoint_base = std::move(base); checkpoint_freq = freq; return *this;
+  }
+  SessionConfig& with_delta_checkpoints(std::string base, int freq,
+                                        int full_interval) {
+    checkpoint_base = std::move(base); checkpoint_freq = freq;
+    ckpt_full_interval = full_interval; return *this;
   }
   SessionConfig& with_monitor(bool v = true) { monitor = v; return *this; }
   SessionConfig& with_trace(bool v = true,
@@ -180,6 +191,16 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// Copy-on-write clone (sequential sessions only — throws ConfigError
+  /// when nranks > 1). The child shares the MeshBundle and aliases every
+  /// state chunk of the parent; the first write to a field un-shares just
+  /// that chunk, so forking N members costs refcount bumps, not N state
+  /// copies. The child continues from the parent's step_count (remap
+  /// cadence included). Its checkpoint cadence is disabled unless a new
+  /// \p checkpoint_base is given (children must not write over the
+  /// parent's chain).
+  std::unique_ptr<Session> fork(const std::string& checkpoint_base = "") const;
+
   // -- driving --------------------------------------------------------------
 
   /// One model step: dynamics, then physics when configured, then the
@@ -205,6 +226,14 @@ class Session {
   /// Bit-identical inverse of save(); realigns the remap cadence.
   void restore(const std::string& base);
 
+  /// Delta-checkpoint save through the async writer (requires
+  /// ckpt_full_interval > 0 in the config): takes a COW snapshot and
+  /// returns; serialization and I/O happen off the stepping thread.
+  void save();
+  /// Drain the async writer, then restore from the full+delta chain at
+  /// the configured base. Bit-identical to the last save().
+  void restore();
+
   // -- introspection --------------------------------------------------------
 
   const SessionConfig& config() const { return cfg_; }
@@ -225,16 +254,34 @@ class Session {
   /// Physics diagnostics of the most recent step (physics mode only).
   const phys::PhysicsStats& physics_stats() const { return phys_stats_; }
 
+  /// COW memory accounting of this session's state (summed over rank
+  /// locals in parallel mode). resident_bytes is this member's amortized
+  /// share of the payloads it references — summing it over an ensemble's
+  /// sessions reproduces the true allocation.
+  homme::StoreStats store_stats() const;
+  /// Async delta-writer counters (all zero when the session checkpoints
+  /// through the legacy synchronous path or not at all).
+  homme::AsyncCheckpointWriter::Stats checkpoint_stats() const;
+
   /// The session's own tracer: every layer (dycore, exchange, net,
   /// accelerator, core group) reports into it when cfg.trace is set.
   obs::Tracer& tracer() { return *tracer_; }
   obs::Summary summary() const { return tracer_->summary(); }
 
  private:
+  struct ForkTag {};
+  /// COW-clone ctor behind fork(): shares the bundle, aliases the state.
+  Session(const Session& parent, const std::string& checkpoint_base,
+          ForkTag);
+
   void build();
+  void init_ckpt_writer();
   void step_dynamics();
   void check_monitor();
   homme::State assemble() const;
+  homme::CheckpointInfo checkpoint_info() const;
+  void adopt_restored(const homme::CheckpointInfo& info, homme::State&& s,
+                      const std::string& what);
 
   SessionConfig cfg_;
   std::shared_ptr<const MeshBundle> bundle_;
@@ -257,6 +304,9 @@ class Session {
   std::unique_ptr<phys::PhysicsDriver> physics_;
   phys::PhysicsStats phys_stats_;
   std::unique_ptr<homme::StateMonitor> monitor_;
+
+  // Async delta-checkpoint writer (sequential + ckpt_full_interval > 0).
+  std::unique_ptr<homme::AsyncCheckpointWriter> ckpt_writer_;
 };
 
 }  // namespace model

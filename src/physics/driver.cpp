@@ -64,16 +64,20 @@ void PhysicsDriver::restore_column(const Column& c, homme::State& s, int e,
   const std::size_t se = static_cast<std::size_t>(e);
   const auto& g = mesh_.geom(e);
   const bool has_q = dims_.qsize > 0;
-  auto qf = has_q ? s[se].q(0, dims_) : std::span<double>{};
+  // COW: un-share the written fields up front, once per column.
+  auto qf = has_q ? s[se].q_mut(0, dims_) : std::span<double>{};
+  std::span<double> T = s[se].T.mutable_span();
+  std::span<double> su1 = s[se].u1.mutable_span();
+  std::span<double> su2 = s[se].u2.mutable_span();
   for (int lev = 0; lev < dims_.nlev; ++lev) {
     const std::size_t f = fidx(lev, k);
-    s[se].T[f] = c.t[static_cast<std::size_t>(lev)];
+    T[f] = c.t[static_cast<std::size_t>(lev)];
     if (has_q) qf[f] = c.q[static_cast<std::size_t>(lev)] * s[se].dp[f];
     double u1, u2;
     homme::wind_to_contra(g, k, c.u[static_cast<std::size_t>(lev)],
                           c.v[static_cast<std::size_t>(lev)], u1, u2);
-    s[se].u1[f] = u1;
-    s[se].u2[f] = u2;
+    su1[f] = u1;
+    su2[f] = u2;
   }
 }
 

@@ -27,6 +27,10 @@ void held_suarez_forcing(const mesh::CubedSphere& m, const homme::Dims& d,
   for (int e = 0; e < m.nelem(); ++e) {
     const auto& g = m.geom(e);
     auto& es = s[static_cast<std::size_t>(e)];
+    // COW: un-share the forced fields once per element.
+    std::span<double> T = es.T.mutable_span();
+    std::span<double> u1 = es.u1.mutable_span();
+    std::span<double> u2 = es.u2.mutable_span();
     for (int k = 0; k < kNpp; ++k) {
       const std::size_t sk = static_cast<std::size_t>(k);
       const double lat = g.lat[sk];
@@ -47,13 +51,13 @@ void held_suarez_forcing(const mesh::CubedSphere& m, const homme::Dims& d,
             std::max(0.0, (sigma - cfg.sigma_b) / (1.0 - cfg.sigma_b));
         const double k_t = cfg.k_a + (cfg.k_s - cfg.k_a) * bl * cos4;
         const double teq = held_suarez_teq(cfg, lat, p, ps);
-        es.T[f] = (es.T[f] + dt * k_t * teq) / (1.0 + dt * k_t);
+        T[f] = (T[f] + dt * k_t * teq) / (1.0 + dt * k_t);
 
         // Rayleigh friction in the boundary layer, implicit.
         const double k_v = cfg.k_f * bl;
         const double damp = 1.0 / (1.0 + dt * k_v);
-        es.u1[f] *= damp;
-        es.u2[f] *= damp;
+        u1[f] *= damp;
+        u2[f] *= damp;
       }
     }
   }

@@ -25,16 +25,16 @@ std::uint32_t state_digest(const model::Session& session) {
   const homme::State state = session.state();
   std::vector<std::uint32_t> crcs;
   crcs.reserve(state.size() * 6 + 2);
-  auto add = [&crcs](const std::vector<double>& v) {
+  auto add = [&crcs](std::span<const double> v) {
     crcs.push_back(homme::crc32(v.data(), v.size() * sizeof(double)));
   };
   for (const auto& e : state) {
-    add(e.u1);
-    add(e.u2);
-    add(e.T);
-    add(e.dp);
-    add(e.qdp);
-    add(e.phis);
+    add(e.u1.span());
+    add(e.u2.span());
+    add(e.T.span());
+    add(e.dp.span());
+    add(e.qdp.span());
+    add(e.phis.span());
   }
   crcs.push_back(static_cast<std::uint32_t>(state.size()));
   crcs.push_back(static_cast<std::uint32_t>(session.step_count()));
@@ -197,6 +197,10 @@ void Engine::execute(Job& job, int worker) {
       std::chrono::duration<double>(t0 - job.submitted).count();
   res.state = RunState::kCompleted;
 
+  homme::StoreStats store{};
+  homme::AsyncCheckpointWriter::Stats ckpt{};
+  bool sampled = false;
+
   try {
     model::Session session(req.config, job.bundle);
     for (int i = 0; i < req.steps; ++i) {
@@ -217,6 +221,9 @@ void Engine::execute(Job& job, int worker) {
       }
     }
     res.fallbacks = session.fallbacks();
+    store = session.store_stats();
+    ckpt = session.checkpoint_stats();
+    sampled = true;
     res.state_crc = state_digest(session);
     if (res.state == RunState::kCompleted) {
       res.diagnostics = session.diagnose();
@@ -252,6 +259,15 @@ void Engine::execute(Job& job, int worker) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     counters_.member_steps += static_cast<std::uint64_t>(res.steps_done);
     counters_.busy_s += res.wall_s;
+    if (sampled) {
+      ++counters_.state_samples;
+      counters_.state_logical_bytes += store.logical_bytes;
+      counters_.state_resident_bytes += store.resident_bytes;
+      counters_.state_chunks += store.chunks;
+      counters_.state_shared_chunks += store.shared_chunks;
+      counters_.checkpoint_saves += ckpt.saves;
+      counters_.checkpoint_bytes += ckpt.bytes_written;
+    }
     switch (res.state) {
       case RunState::kCompleted: ++counters_.completed; break;
       case RunState::kFaulted: ++counters_.faulted; break;
@@ -306,7 +322,17 @@ obs::Report Engine::summary_report() const {
       .set("mesh_bundle_bytes",
            static_cast<std::uint64_t>(s.mesh_bundle_bytes))
       .set("mesh_bytes_unshared",
-           static_cast<std::uint64_t>(s.mesh_bytes_unshared));
+           static_cast<std::uint64_t>(s.mesh_bytes_unshared))
+      .set("state_samples", s.state_samples)
+      .set("state_logical_bytes", s.state_logical_bytes)
+      .set("state_resident_bytes", s.state_resident_bytes)
+      .set("state_chunks", s.state_chunks)
+      .set("state_shared_chunks", s.state_shared_chunks)
+      .set("checkpoint_saves", s.checkpoint_saves)
+      .set("checkpoint_bytes", s.checkpoint_bytes)
+      .set("resident_bytes_per_member", s.resident_bytes_per_member())
+      .set("cow_shared_fraction", s.cow_shared_fraction())
+      .set("checkpoint_bytes_per_step", s.checkpoint_bytes_per_step());
   return rep;
 }
 

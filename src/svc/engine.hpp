@@ -148,12 +148,40 @@ struct EngineStats {
   std::size_t mesh_bundle_bytes = 0;     ///< resident shared mesh memory
   std::size_t mesh_bytes_unshared = 0;   ///< hypothetical per-member total
 
+  // COW state + checkpoint accounting, sampled from each member after its
+  // last step (homme::StoreStats / the async delta-writer counters).
+  std::uint64_t state_samples = 0;        ///< members that reported state
+  std::uint64_t state_logical_bytes = 0;  ///< fully-private state cost
+  std::uint64_t state_resident_bytes = 0; ///< amortized COW-shared cost
+  std::uint64_t state_chunks = 0;         ///< chunk slots sampled
+  std::uint64_t state_shared_chunks = 0;  ///< slots aliased by other owners
+  std::uint64_t checkpoint_saves = 0;     ///< async delta-writer saves
+  std::uint64_t checkpoint_bytes = 0;     ///< bytes those saves wrote
+
   double member_steps_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(member_steps) / wall_s : 0.0;
   }
   double utilization() const {
     const double cap = wall_s * workers;
     return cap > 0.0 ? busy_s / cap : 0.0;
+  }
+  double resident_bytes_per_member() const {
+    return state_samples > 0
+               ? static_cast<double>(state_resident_bytes) /
+                     static_cast<double>(state_samples)
+               : 0.0;
+  }
+  double cow_shared_fraction() const {
+    return state_chunks > 0
+               ? static_cast<double>(state_shared_chunks) /
+                     static_cast<double>(state_chunks)
+               : 0.0;
+  }
+  double checkpoint_bytes_per_step() const {
+    return member_steps > 0
+               ? static_cast<double>(checkpoint_bytes) /
+                     static_cast<double>(member_steps)
+               : 0.0;
   }
 };
 

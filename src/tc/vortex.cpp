@@ -32,6 +32,12 @@ homme::State tc_initial_state(const mesh::CubedSphere& m,
   for (int e = 0; e < m.nelem(); ++e) {
     const auto& g = m.geom(e);
     homme::ElementState es(d);
+    // Freshly-built element: take the writable views once.
+    std::span<double> dp = es.dp.mutable_span();
+    std::span<double> T_f = es.T.mutable_span();
+    std::span<double> u1_f = es.u1.mutable_span();
+    std::span<double> u2_f = es.u2.mutable_span();
+    std::span<double> phis = es.phis.mutable_span();
     for (int k = 0; k < kNpp; ++k) {
       const std::size_t sk = static_cast<std::size_t>(k);
       const double lat = g.lat[sk], lon = g.lon[sk];
@@ -58,7 +64,7 @@ homme::State tc_initial_state(const mesh::CubedSphere& m,
 
       for (int lev = 0; lev < d.nlev; ++lev) {
         const std::size_t f = fidx(lev, k);
-        es.dp[f] = hc.dp_ref(lev, ps);
+        dp[f] = hc.dp_ref(lev, ps);
         const double pm =
             0.5 * (hc.p_int(lev, ps) + hc.p_int(lev + 1, ps));
         const double sigma = pm / ps;
@@ -66,7 +72,7 @@ homme::State tc_initial_state(const mesh::CubedSphere& m,
         double T = p.t_surf * std::pow(sigma, p.lapse_exp);
         T += p.warm_core * std::exp(-x * x) *
              std::exp(-std::pow((sigma - 0.4) / 0.25, 2));
-        es.T[f] = T;
+        T_f[f] = T;
 
         // Vortex wind decays with height; steering flow constant.
         const double vertical = std::max(0.0, (sigma - 0.15) / 0.85);
@@ -74,16 +80,16 @@ homme::State tc_initial_state(const mesh::CubedSphere& m,
         const double vn = vt * ty * vertical + p.steering_v;
         double u1, u2;
         homme::wind_to_contra(g, k, ue, vn, u1, u2);
-        es.u1[f] = u1;
-        es.u2[f] = u2;
+        u1_f[f] = u1;
+        u2_f[f] = u2;
 
         // Moisture (tracer 0): moist boundary layer, drying upward.
         if (d.qsize > 0) {
-          auto q = es.q(0, d);
-          q[f] = p.q_surf * std::pow(sigma, 3.0) * es.dp[f];
+          auto q = es.q_mut(0, d);
+          q[f] = p.q_surf * std::pow(sigma, 3.0) * dp[f];
         }
       }
-      es.phis[sk] = 0.0;
+      phis[sk] = 0.0;
     }
     s.push_back(std::move(es));
   }

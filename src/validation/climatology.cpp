@@ -24,7 +24,7 @@ std::vector<double> run_once(const mesh::CubedSphere& m,
   // Tracer 0 is specific humidity for the physics suite: a realistic
   // moist-boundary-layer profile (kg/kg), not the advection test bells.
   for (auto& es : s) {
-    auto q = es.q(0, d);
+    auto q = es.q_mut(0, d);
     for (int lev = 0; lev < d.nlev; ++lev) {
       const double sigma = (lev + 0.5) / d.nlev;
       for (int k = 0; k < kNpp; ++k) {
@@ -37,7 +37,7 @@ std::vector<double> run_once(const mesh::CubedSphere& m,
     // cross-platform reassociation magnitude.
     unsigned seed = 77;
     for (auto& es : s) {
-      for (auto& t : es.T) {
+      for (double& t : es.T.mutable_span()) {
         seed = seed * 1664525u + 1013904223u;
         t *= 1.0 + perturbation *
                        (static_cast<double>(seed % 2000) / 1000.0 - 1.0);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -135,8 +136,8 @@ TEST(KernelPipeline, FusedPhysicsSuiteReusesResidentColumns) {
 }
 
 double state_max_rel_diff(const homme::State& a, const homme::State& b) {
-  auto field_diff = [](const std::vector<double>& x,
-                       const std::vector<double>& y) {
+  auto field_diff = [](std::span<const double> x,
+                       std::span<const double> y) {
     double worst = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       const double scale = std::max({std::abs(x[i]), std::abs(y[i]), 1e-30});
@@ -146,11 +147,11 @@ double state_max_rel_diff(const homme::State& a, const homme::State& b) {
   };
   double worst = 0.0;
   for (std::size_t e = 0; e < a.size(); ++e) {
-    worst = std::max(worst, field_diff(a[e].u1, b[e].u1));
-    worst = std::max(worst, field_diff(a[e].u2, b[e].u2));
-    worst = std::max(worst, field_diff(a[e].T, b[e].T));
-    worst = std::max(worst, field_diff(a[e].dp, b[e].dp));
-    worst = std::max(worst, field_diff(a[e].qdp, b[e].qdp));
+    worst = std::max(worst, field_diff(a[e].u1.span(), b[e].u1.span()));
+    worst = std::max(worst, field_diff(a[e].u2.span(), b[e].u2.span()));
+    worst = std::max(worst, field_diff(a[e].T.span(), b[e].T.span()));
+    worst = std::max(worst, field_diff(a[e].dp.span(), b[e].dp.span()));
+    worst = std::max(worst, field_diff(a[e].qdp.span(), b[e].qdp.span()));
   }
   return worst;
 }

@@ -10,9 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "homme/driver.hpp"
 #include "homme/init.hpp"
@@ -33,9 +39,9 @@ Dims small_dims() {
 }
 
 bool states_bitwise_equal(const State& a, const State& b) {
-  auto eq = [](const std::vector<double>& x, const std::vector<double>& y) {
+  auto eq = [](const homme::Chunk& x, const homme::Chunk& y) {
     return x.size() == y.size() &&
-           std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+           std::memcmp(x.data(), y.data(), x.size_bytes()) == 0;
   };
   if (a.size() != b.size()) return false;
   for (std::size_t e = 0; e < a.size(); ++e) {
@@ -147,6 +153,196 @@ TEST(Checkpoint, FileRoundTrip) {
 }
 
 // ---------------------------------------------------------------------------
+// Delta checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(DeltaCheckpoint, CarriesOnlyDirtyChunksAndRoundTrips) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+
+  // Baseline CRCs, then dirty exactly two chunks.
+  std::vector<std::uint32_t> crcs = homme::chunk_crcs(s);
+  State base_state = s;
+  s[1].T.mutable_span()[0] += 0.5;
+  s[3].dp.mutable_span()[2] *= 1.001;
+
+  std::uint64_t written = 0;
+  const auto delta = homme::serialize_delta_checkpoint(
+      make_info(d, s), s, /*base_seq=*/0, /*seq=*/1, crcs, &written);
+  EXPECT_EQ(written, 2u);
+  const auto full = serialize_checkpoint(make_info(d, s), s);
+  EXPECT_LT(delta.size(), full.size() / 4);
+
+  // Applying onto the chain's preceding image reproduces s bit for bit.
+  State target = base_state;
+  // base_state aliases s's clean chunks; give target private copies so
+  // the apply below cannot cheat through sharing.
+  for (std::size_t id = 0; id < target.size() * homme::kChunksPerElement;
+       ++id) {
+    homme::state_chunk(target, id).mutable_span();
+  }
+  const homme::DeltaInfo di = apply_delta_checkpoint(delta, target);
+  EXPECT_EQ(di.seq, 1u);
+  EXPECT_EQ(di.chunks_written, 2u);
+  EXPECT_TRUE(states_bitwise_equal(target, s));
+
+  // An unchanged state writes an empty (header-only) delta.
+  const auto empty_delta = homme::serialize_delta_checkpoint(
+      make_info(d, s), s, 0, 2, crcs, &written);
+  EXPECT_EQ(written, 0u);
+  EXPECT_LT(empty_delta.size(), 128u);
+}
+
+TEST(DeltaCheckpoint, WriterChainRestoresNewestSaveBitIdentically) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+  homme::Dycore dycore(mesh, d, homme::DycoreConfig{});
+
+  const std::string base = ::testing::TempDir() + "swdk_chain.ck";
+  homme::DeltaCheckpointWriter writer(base, /*full_interval=*/3);
+  CheckpointInfo info = make_info(d, s);
+  for (int i = 0; i < 3; ++i) {
+    dycore.step(s);
+    info.step_count = dycore.step_count();
+    const auto rec = writer.save(info, s);
+    EXPECT_EQ(rec.full, i == 0) << "save " << i;
+  }
+  EXPECT_EQ(writer.totals().fulls, 1u);
+  EXPECT_EQ(writer.totals().deltas, 2u);
+
+  State restored;
+  const CheckpointInfo got =
+      homme::DeltaCheckpointWriter::restore_chain(base, restored);
+  EXPECT_EQ(got.step_count, 3);
+  EXPECT_TRUE(states_bitwise_equal(restored, s));
+
+  // A fourth save rolls a fresh full image and removes the stale deltas,
+  // so the on-disk chain is never a new full with old deltas.
+  dycore.step(s);
+  info.step_count = dycore.step_count();
+  EXPECT_TRUE(writer.save(info, s).full);
+  State rolled;
+  homme::DeltaCheckpointWriter::restore_chain(base, rolled);
+  EXPECT_TRUE(states_bitwise_equal(rolled, s));
+
+  std::remove((base + ".full").c_str());
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+TEST(DeltaCheckpoint, MidRemapCycleChainRestoreContinuesBitIdentically) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  homme::DycoreConfig cfg;
+  cfg.remap_freq = 3;
+
+  // Reference: 8 uninterrupted steps.
+  State straight = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, straight);
+  {
+    homme::Dycore dc(mesh, d, cfg);
+    for (int i = 0; i < 8; ++i) dc.step(straight);
+  }
+
+  // Save every step through step 4 — one past a remap, mid cycle — then
+  // restore from the files alone and finish the remaining steps.
+  const std::string base = ::testing::TempDir() + "swdk_midremap.ck";
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+  homme::Dycore dc(mesh, d, cfg);
+  homme::DeltaCheckpointWriter writer(base, /*full_interval=*/10);
+  CheckpointInfo info = make_info(d, s);
+  info.config = cfg;
+  for (int i = 0; i < 4; ++i) {
+    dc.step(s);
+    info.step_count = dc.step_count();
+    writer.save(info, s);
+  }
+
+  State resumed;
+  const CheckpointInfo got =
+      homme::DeltaCheckpointWriter::restore_chain(base, resumed);
+  ASSERT_EQ(got.step_count, 4);
+  homme::Dycore dc2(mesh, d, cfg);
+  dc2.set_step_count(static_cast<int>(got.step_count));
+  for (int i = 4; i < 8; ++i) dc2.step(resumed);
+
+  EXPECT_TRUE(states_bitwise_equal(resumed, straight));
+
+  std::remove((base + ".full").c_str());
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+TEST(DeltaCheckpoint, BrokenChainsAreTypedErrors) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+  homme::Dycore dycore(mesh, d, homme::DycoreConfig{});
+
+  const std::string base = ::testing::TempDir() + "swdk_broken.ck";
+  homme::DeltaCheckpointWriter writer(base, /*full_interval=*/10);
+  CheckpointInfo info = make_info(d, s);
+  for (int i = 0; i < 3; ++i) {
+    dycore.step(s);
+    info.step_count = dycore.step_count();
+    writer.save(info, s);
+  }  // on disk: .full, .d1, .d2
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(f),
+                             std::istreambuf_iterator<char>());
+  };
+  auto spit = [](const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const auto d1 = slurp(base + ".d1");
+  const auto d2 = slurp(base + ".d2");
+
+  // Swapped deltas: seq continuity fails at the second link.
+  spit(base + ".d1", d2);
+  spit(base + ".d2", d1);
+  State restored;
+  try {
+    homme::DeltaCheckpointWriter::restore_chain(base, restored);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken chain"), std::string::npos);
+  }
+  spit(base + ".d1", d1);
+  spit(base + ".d2", d2);
+
+  // A flipped payload byte in a delta fails that record's CRC.
+  auto corrupt = d1;
+  corrupt[corrupt.size() - 9] ^= 0x10;
+  spit(base + ".d1", corrupt);
+  try {
+    homme::DeltaCheckpointWriter::restore_chain(base, restored);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+
+  // No full image, no chain.
+  std::remove((base + ".full").c_str());
+  EXPECT_THROW(homme::DeltaCheckpointWriter::restore_chain(base, restored),
+               CheckpointError);
+
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // StateMonitor
 // ---------------------------------------------------------------------------
 
@@ -162,7 +358,7 @@ TEST(StateMonitor, FlagsNaNWithFieldAndLocation) {
   const Dims d = small_dims();
   auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
   State s = homme::baroclinic(mesh, d);
-  s[3].T[homme::fidx(2, 5)] = std::numeric_limits<double>::quiet_NaN();
+  s[3].T.mutable_span()[homme::fidx(2, 5)] = std::numeric_limits<double>::quiet_NaN();
   homme::StateMonitor mon(d);
   const auto v = mon.check(s);
   ASSERT_TRUE(v.has_value());
@@ -177,14 +373,15 @@ TEST(StateMonitor, FlagsNegativeLayerMassAndPressureBounds) {
   homme::StateMonitor mon(d);
 
   State bad_dp = s;
-  bad_dp[0].dp[homme::fidx(1, 0)] = -5.0;
+  bad_dp[0].dp.mutable_span()[homme::fidx(1, 0)] = -5.0;
   auto v = mon.check(bad_dp);
   ASSERT_TRUE(v.has_value());
   EXPECT_NE(v->find("non-positive layer mass"), std::string::npos);
 
   State heavy = s;
+  auto heavy_dp = heavy[1].dp.mutable_span();
   for (int lev = 0; lev < d.nlev; ++lev) {
-    heavy[1].dp[homme::fidx(lev, 2)] *= 10.0;
+    heavy_dp[homme::fidx(lev, 2)] *= 10.0;
   }
   v = mon.check(heavy);
   ASSERT_TRUE(v.has_value());
@@ -297,7 +494,7 @@ TEST(CheckpointRestart, ConfigMismatchOnRestoreIsATypedError) {
 struct PoisoningAccel final : homme::StepAccelerator {
   void vertical_remap(State& s) override {
     if (!s.empty()) {
-      s[0].T[0] = std::numeric_limits<double>::quiet_NaN();
+      s[0].T.mutable_span()[0] = std::numeric_limits<double>::quiet_NaN();
     }
   }
 };

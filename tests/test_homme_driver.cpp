@@ -24,7 +24,7 @@ TEST(Hypervis, DampsNoiseButPreservesMean) {
   // Add continuous (DSS'd) noise to T.
   unsigned seed = 123;
   for (auto& es : s) {
-    for (auto& t : es.T) {
+    for (double& t : es.T.mutable_span()) {
       seed = seed * 1664525u + 1013904223u;
       t += 5.0 * (static_cast<double>(seed % 1000) / 1000.0 - 0.5);
     }

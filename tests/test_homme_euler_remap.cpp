@@ -42,11 +42,11 @@ TEST(EulerStep, LimiterKeepsTracersNonNegative) {
   auto s = homme::solid_body_rotation(m, d, 60.0);
   // A harsh initial condition: a near-delta tracer spike.
   for (int e = 0; e < m.nelem(); ++e) {
-    auto q = s[static_cast<std::size_t>(e)].q(0, d);
+    auto q = s[static_cast<std::size_t>(e)].q_mut(0, d);
     std::fill(q.begin(), q.end(), 0.0);
   }
   {
-    auto q = s[0].q(0, d);
+    auto q = s[0].q_mut(0, d);
     for (int lev = 0; lev < d.nlev; ++lev) {
       q[fidx(lev, 5)] = 100.0 * s[0].dp[fidx(lev, 5)];
     }
@@ -186,10 +186,11 @@ TEST(VerticalRemap, RestoresReferenceThicknessAndConserves) {
   homme::init_tracers(m, d, s);
   // Deform the layers (keeping column mass): move mass downward.
   for (auto& es : s) {
+    auto dp = es.dp.mutable_span();
     for (int k = 0; k < kNpp; ++k) {
-      const double delta = 0.2 * es.dp[fidx(0, k)];
-      es.dp[fidx(0, k)] -= delta;
-      es.dp[fidx(d.nlev - 1, k)] += delta;
+      const double delta = 0.2 * dp[fidx(0, k)];
+      dp[fidx(0, k)] -= delta;
+      dp[fidx(d.nlev - 1, k)] += delta;
     }
   }
   const double mass_before = homme::tracer_mass(m, d, s, 0);

@@ -30,7 +30,7 @@ TEST(MoistDynamics, DryLimitIsExactlyTheDryCore) {
   auto s = homme::baroclinic(m, dry, 25.0, 295.0, 3.0);
   // q = 0 everywhere.
   for (auto& es : s) {
-    auto q = es.q(0, dry);
+    auto q = es.q_mut(0, dry);
     std::fill(q.begin(), q.end(), 0.0);
   }
   homme::State out_dry(s.size(), homme::ElementState(dry));
@@ -55,7 +55,7 @@ TEST(MoistDynamics, MoistureChangesThePressureGradientResponse) {
   auto s = homme::baroclinic(m, d, 20.0, 295.0, 3.0);
   for (int e = 0; e < m.nelem(); ++e) {
     const auto& g = m.geom(e);
-    auto q = s[static_cast<std::size_t>(e)].q(0, d);
+    auto q = s[static_cast<std::size_t>(e)].q_mut(0, d);
     for (int lev = 0; lev < d.nlev; ++lev) {
       for (int k = 0; k < kNpp; ++k) {
         const double qv =
@@ -91,7 +91,7 @@ TEST(MoistDynamics, MoistRestStateWithUniformHumidityStaysAtRest) {
   d.moist = true;
   auto s = homme::isothermal_rest(m, d);
   for (auto& es : s) {
-    auto q = es.q(0, d);
+    auto q = es.q_mut(0, d);
     for (int lev = 0; lev < d.nlev; ++lev) {
       for (int k = 0; k < kNpp; ++k) {
         q[fidx(lev, k)] = 0.01 * es.dp[fidx(lev, k)];
@@ -116,7 +116,7 @@ TEST(MoistDynamics, FullMoistStepRunsStably) {
   d.moist = true;
   auto s = homme::baroclinic(m, d, 25.0, 295.0, 3.0);
   for (auto& es : s) {
-    auto q = es.q(0, d);
+    auto q = es.q_mut(0, d);
     for (int lev = 0; lev < d.nlev; ++lev) {
       const double sigma = (lev + 0.5) / d.nlev;
       for (int k = 0; k < kNpp; ++k) {

@@ -55,12 +55,15 @@ homme::State deformed_state(const mesh::CubedSphere& m, const Dims& d,
   std::mt19937 rng(seed);
   std::uniform_real_distribution<double> pert(-0.2, 0.2);
   for (auto& es : s) {
+    auto dp = es.dp.mutable_span();
+    auto T = es.T.mutable_span();
+    auto qdp = es.qdp.mutable_span();
     for (std::size_t f = 0; f < d.field_size(); ++f) {
-      es.dp[f] *= 1.0 + pert(rng);
-      es.T[f] += 5.0 * pert(rng);
+      dp[f] *= 1.0 + pert(rng);
+      T[f] += 5.0 * pert(rng);
     }
-    for (std::size_t f = 0; f < es.qdp.size(); ++f) {
-      es.qdp[f] *= 1.0 + pert(rng);
+    for (std::size_t f = 0; f < qdp.size(); ++f) {
+      qdp[f] *= 1.0 + pert(rng);
     }
   }
   return s;
@@ -253,7 +256,7 @@ TEST(VerticalRemap, FaultCorruptedThicknessThrowsTypedError) {
   auto s = deformed_state(m, d, 3u);
   // An injected-fault-style corruption: one layer loses its mass. The old
   // path divided by it and silently spread NaN through qdp.
-  s[1].dp[fidx(3, 5)] = -s[1].dp[fidx(3, 5)];
+  s[1].dp.mutable_span()[fidx(3, 5)] = -s[1].dp[fidx(3, 5)];
   EXPECT_THROW(homme::vertical_remap_local(d, s), homme::RemapError);
 }
 

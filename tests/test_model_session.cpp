@@ -38,7 +38,7 @@ void expect_states_equal(const homme::State& a, const homme::State& b) {
 /// bitwise (same bound the homme parallel tests use).
 void expect_states_near(const homme::State& a, const homme::State& b) {
   ASSERT_EQ(a.size(), b.size());
-  auto near = [](const std::vector<double>& x, const std::vector<double>& y) {
+  auto near = [](const homme::Chunk& x, const homme::Chunk& y) {
     ASSERT_EQ(x.size(), y.size());
     for (std::size_t i = 0; i < x.size(); ++i) {
       EXPECT_NEAR(x[i], y[i], 1e-9 * (std::abs(y[i]) + 1.0));

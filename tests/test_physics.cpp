@@ -164,7 +164,7 @@ TEST(PhysicsDriver, StepProducesReasonableClimateFluxes) {
   auto s = homme::solid_body_rotation(m, d, 10.0, 285.0);
   // Moisten the boundary layer a little.
   for (auto& es : s) {
-    auto q = es.q(0, d);
+    auto q = es.q_mut(0, d);
     for (int lev = d.nlev / 2; lev < d.nlev; ++lev) {
       for (int k = 0; k < mesh::kNpp; ++k) {
         q[homme::fidx(lev, k)] = 0.005 * es.dp[homme::fidx(lev, k)];

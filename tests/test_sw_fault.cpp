@@ -278,9 +278,9 @@ TEST(CommFaults, WatchdogBoundsAReceiveThatCanNeverComplete) {
 // ---------------------------------------------------------------------------
 
 bool states_bitwise_equal(const homme::State& a, const homme::State& b) {
-  auto eq = [](const std::vector<double>& x, const std::vector<double>& y) {
+  auto eq = [](const homme::Chunk& x, const homme::Chunk& y) {
     return x.size() == y.size() &&
-           std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+           std::memcmp(x.data(), y.data(), x.size_bytes()) == 0;
   };
   if (a.size() != b.size()) return false;
   for (std::size_t e = 0; e < a.size(); ++e) {

@@ -13,7 +13,9 @@ Checks, beyond plain JSON validity:
 With --report, the arguments that follow are validated as obs::Report
 documents instead: a JSON object with a "bench" string and a "config"
 object; a "phases" array, when present, must hold per-phase summary rows
-(name/count/total_us/max_us/self_us with the right types).
+(name/count/total_us/max_us/self_us with the right types). Benches
+listed in REQUIRED_ROOT_FIELDS must additionally carry those root-level
+numeric fields — the counters downstream dashboards key on.
 
 Exit status is nonzero on the first violation, so CI can gate on it.
 
@@ -95,6 +97,16 @@ def validate(path):
     return 0
 
 
+# Root-level numeric fields a bench's report must carry, keyed by the
+# report's "bench" string. Keep in sync with each bench's write_json.
+REQUIRED_ROOT_FIELDS = {
+    "ensemble_throughput": (
+        "resident_bytes_per_member",
+        "checkpoint_bytes_per_step",
+        "cow_shared_fraction",
+    ),
+}
+
 PHASE_FIELDS = {
     "name": str,
     "count": int,
@@ -132,6 +144,13 @@ def validate_report(path):
                 return fail(path, f"{where}: {key!r} has the wrong type")
         if p["count"] < 0 or p["total_us"] < 0:
             return fail(path, f"{where}: negative count/total_us")
+
+    for key in REQUIRED_ROOT_FIELDS.get(doc["bench"], ()):
+        if key not in doc:
+            return fail(path, f"report for {doc['bench']!r} missing {key!r}")
+        if not isinstance(doc[key], (int, float)) or isinstance(
+                doc[key], bool):
+            return fail(path, f"root field {key!r} must be numeric")
 
     print(f"{path}: OK (report {doc['bench']!r}, {len(phases)} phases)")
     return 0
