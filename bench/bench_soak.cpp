@@ -1,0 +1,427 @@
+// Fault-injected soak of the hardened service front-end (svc::Server).
+//
+// The soak drives an always-on server the way a deployment would, and
+// asserts the hardening contracts instead of just timing them — any
+// violation prints a FAIL line and exits 1, so CI can gate on it:
+//
+//   waves        each wave submits a mix of member shapes: sequential
+//                ne2 members (distinct remap cadences) and 2-rank
+//                parallel members, half of which carry an active
+//                sw::FaultPlan dropping a mini-MPI message mid-run.
+//                The watchdog turns the drop into a deterministic
+//                CommTimeout fault; the server retries on its recorded
+//                backoff schedule (sleep_scale=0: virtual time — the
+//                unscaled schedule is computed and recorded, retries
+//                fire immediately) and must converge to the fault-free
+//                digest.
+//
+//   drain/restart  the first two waves are interrupted mid-flight:
+//                drain() cancels the running members at a checkpoint and
+//                parks them, restart() resumes them on a fresh engine.
+//                Every completed member — retried, resumed, or
+//                undisturbed — must finish with a final-state CRC equal
+//                to an uninterrupted fault-free reference run.
+//
+//   burst        a quota-limited tenant (max_active=4, soft_active=2)
+//                submits 6 members back to back; the admission verdicts
+//                must come out exactly Admitted x2, Throttled x2,
+//                Rejected x2, deterministically.
+//
+//   leak check   at the end every member record is kDone, the engine
+//                queue is empty, and every submitted attempt reached a
+//                terminal state: submitted == completed + faulted +
+//                cancelled + deadline across all drain cycles.
+//
+// After every drain and at settle points the bench captures a metrics
+// snapshot (phase counts, tenant counters, folded engine stats) into the
+// --json report's "snapshots" array, and checks the scrape-friendly
+// flat rendering carries the keys a scraper would poll.
+//
+// Flags (bench_common.hpp): --json --trace --small --steps
+//   --members N   sequential members per wave (default 3)
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/report.hpp"
+#include "svc/server.hpp"
+#include "sw/fault.hpp"
+
+namespace {
+
+struct SoakSpec {
+  int waves = 3;
+  int seq_per_wave = 3;  ///< sequential ne2 members per wave
+  int par_per_wave = 2;  ///< 2-rank parallel members per wave
+  int steps = 12;        ///< total step target per member
+  int burst = 6;         ///< quota-burst submissions
+  double stall_s = 0.003;  ///< per-step stall so drains land mid-run
+};
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (ok) return;
+  ++g_failures;
+  std::fprintf(stderr, "soak FAIL: %s\n", what);
+}
+
+model::SessionConfig seq_config(const SoakSpec& spec, int i) {
+  (void)spec;
+  return model::SessionConfig{}.with_ne(2).with_levels(4, 1).with_remap_freq(
+      1 + i % 3);
+}
+
+model::SessionConfig par_config() {
+  return model::SessionConfig{}.with_ne(2).with_levels(4, 1).with_ranks(2);
+}
+
+/// Fault-free digest of \p cfg run to \p steps on a throwaway engine.
+std::uint32_t reference_digest(const model::SessionConfig& cfg, int steps) {
+  svc::Engine engine(svc::EngineConfig{});
+  svc::RunRequest req;
+  req.config = cfg;
+  req.steps = steps;
+  auto ticket = engine.submit(std::move(req));
+  const svc::RunResult& res = ticket->wait();
+  check(res.state == svc::RunState::kCompleted, "reference run completed");
+  return res.state_crc;
+}
+
+/// One point-in-time metrics sample, taken from the server's public
+/// accessors (the same numbers metrics() reports).
+struct Snapshot {
+  std::string label;
+  int members_total = 0;
+  int done = 0, active = 0, backoff = 0, parked = 0;
+  std::uint64_t retries = 0, restarts = 0;
+  svc::EngineStats engine;
+  std::size_t flat_lines = 0;
+  bool flat_has_keys = false;
+};
+
+Snapshot take_snapshot(const svc::Server& server, std::string label) {
+  Snapshot s;
+  s.label = std::move(label);
+  for (const auto& m : server.members()) {
+    ++s.members_total;
+    switch (m.phase) {
+      case svc::MemberPhase::kDone: ++s.done; break;
+      case svc::MemberPhase::kActive: ++s.active; break;
+      case svc::MemberPhase::kBackoff: ++s.backoff; break;
+      case svc::MemberPhase::kParked: ++s.parked; break;
+    }
+  }
+  s.retries = server.retries();
+  s.restarts = server.restarts();
+  s.engine = server.engine_stats();
+
+  const std::string flat = server.metrics_flat();
+  for (char c : flat) s.flat_lines += c == '\n' ? 1 : 0;
+  s.flat_has_keys =
+      flat.find("swcam.members.total ") != std::string::npos &&
+      flat.find("swcam.engine.submitted ") != std::string::npos &&
+      flat.find("swcam.retries ") != std::string::npos;
+  check(s.flat_has_keys, "flat metrics carry the scrape keys");
+  return s;
+}
+
+void wait_for_any_running(const std::vector<svc::RunTicket>& tickets) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    for (const auto& t : tickets) {
+      if (t != nullptr && t->state() == svc::RunState::kRunning) return;
+      if (t != nullptr && t->state() != svc::RunState::kQueued) return;
+    }
+    if (std::chrono::steady_clock::now() > deadline) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+
+  SoakSpec spec;
+  spec.seq_per_wave = opts.members_or(spec.seq_per_wave);
+  spec.steps = opts.steps_or(opts.small ? 10 : spec.steps);
+  if (opts.small) spec.waves = 2;
+
+  namespace fs = std::filesystem;
+  const fs::path ckpt_dir =
+      fs::temp_directory_path() / ("swcam_soak_" + std::to_string(::getpid()));
+  fs::create_directories(ckpt_dir);
+
+  // Fault-free reference digests per distinct config shape. Faults fire
+  // at most once and retries resume from checkpoints, so every completed
+  // soak member must land on one of these.
+  std::map<std::string, std::uint32_t> want;
+  for (int r = 0; r < 3; ++r) {
+    want["seq" + std::to_string(r)] =
+        reference_digest(seq_config(spec, r), spec.steps);
+  }
+  want["par"] = reference_digest(par_config(), spec.steps);
+
+  svc::ServerConfig cfg;
+  cfg.engine.workers = 2;
+  cfg.engine.queue_capacity = 32;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.sleep_scale = 0.0;  // virtual-time retry schedule
+  cfg.checkpoint_dir = ckpt_dir.string();
+  cfg.checkpoint_freq = 4;
+  svc::Server server(cfg);
+  server.add_tenant("ops", svc::TenantQuota{});
+
+  // Every fault plan must outlive all retries of its member, including
+  // retries resumed after a restart — keep them alive for the whole run.
+  std::vector<std::unique_ptr<sw::FaultPlan>> plans;
+  std::map<std::string, std::string> config_of;  // member -> digest key
+  int faults_armed = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Snapshot> snapshots;
+  int drain_restart_cycles = 0;
+
+  for (int w = 0; w < spec.waves; ++w) {
+    std::vector<svc::RunTicket> wave_tickets;
+    for (int i = 0; i < spec.seq_per_wave; ++i) {
+      const std::string name =
+          "w" + std::to_string(w) + "_s" + std::to_string(i);
+      svc::RunRequest req;
+      req.config = seq_config(spec, i);
+      req.steps = spec.steps;
+      req.step_stall_s = spec.stall_s;
+      const auto out = server.submit("ops", name, std::move(req));
+      check(out.admission == svc::Admission::kAdmitted,
+            "unlimited tenant admits every wave member");
+      if (out.ticket != nullptr) wave_tickets.push_back(out.ticket);
+      config_of[name] = "seq" + std::to_string(i % 3);
+    }
+    for (int i = 0; i < spec.par_per_wave; ++i) {
+      const std::string name =
+          "w" + std::to_string(w) + "_p" + std::to_string(i);
+      svc::RunRequest req;
+      req.config = par_config();
+      req.config.with_watchdog(0.2);
+      if (i % 2 == 0) {
+        // Drop rank 0's 4th send: the peer's watchdog fires, the member
+        // faults deterministically, and the retry must complete clean.
+        plans.push_back(std::make_unique<sw::FaultPlan>(1000 + w * 16 + i));
+        plans.back()->inject(
+            {sw::FaultKind::kMsgDrop, /*target=*/0, /*op_index=*/3});
+        req.config.faults = plans.back().get();
+        ++faults_armed;
+      }
+      req.steps = spec.steps;
+      const auto out = server.submit("ops", name, std::move(req));
+      check(out.admission == svc::Admission::kAdmitted,
+            "unlimited tenant admits every wave member");
+      if (out.ticket != nullptr) wave_tickets.push_back(out.ticket);
+      config_of[name] = "par";
+    }
+
+    if (w < 2) {
+      // Interrupt the wave mid-flight: drain parks the incomplete
+      // members at a checkpoint, restart resumes them on a new engine.
+      wait_for_any_running(wave_tickets);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      server.drain();
+      check(server.state() == svc::ServerState::kStopped,
+            "drain leaves the server stopped");
+      snapshots.push_back(
+          take_snapshot(server, "drained_w" + std::to_string(w)));
+      server.restart();
+      check(server.state() == svc::ServerState::kAdmitting,
+            "restart returns to admitting");
+      ++drain_restart_cycles;
+    }
+    server.wait_idle();
+    snapshots.push_back(take_snapshot(server, "settled_w" + std::to_string(w)));
+  }
+
+  // Quota burst: 6 submissions against max_active=4 / soft_active=2 must
+  // produce exactly Admitted x2, Throttled x2, Rejected x2.
+  svc::TenantQuota quota;
+  quota.max_active = 4;
+  quota.soft_active = 2;
+  quota.tier = 2;
+  quota.throttle_priority = -1;
+  server.add_tenant("batch", quota);
+  int admitted = 0, throttled = 0, rejected = 0;
+  for (int i = 0; i < spec.burst; ++i) {
+    const std::string name = "burst" + std::to_string(i);
+    svc::RunRequest req;
+    req.config = seq_config(spec, 0);
+    req.steps = spec.steps;
+    req.step_stall_s = spec.stall_s;  // keep the slots held during the burst
+    const auto out = server.submit("batch", name, std::move(req));
+    switch (out.admission) {
+      case svc::Admission::kAdmitted: ++admitted; break;
+      case svc::Admission::kThrottled: ++throttled; break;
+      case svc::Admission::kRejected: ++rejected; break;
+    }
+    if (out.ticket != nullptr) config_of[name] = "seq0";
+  }
+  const bool verdicts_ok = admitted == 2 && throttled == 2 && rejected == 2;
+  check(verdicts_ok, "burst verdicts are Admitted x2 Throttled x2 Rejected x2");
+  server.wait_idle();
+  snapshots.push_back(take_snapshot(server, "burst"));
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // -- end-of-soak verification ----------------------------------------------
+
+  int digest_checks = 0, digest_mismatches = 0;
+  int leaked_members = 0;
+  std::uint64_t member_retries_seen = 0;
+  int resumed_members = 0;
+  for (const auto& m : server.members()) {
+    if (m.phase != svc::MemberPhase::kDone) {
+      ++leaked_members;
+      std::fprintf(stderr, "soak FAIL: member %s leaked in phase %d\n",
+                   m.name.c_str(), static_cast<int>(m.phase));
+    }
+    member_retries_seen += m.retry_delays_s.size();
+    if (m.restarts > 0 && m.resumed_from > 0) ++resumed_members;
+    if (m.last_state != svc::RunState::kCompleted) {
+      std::fprintf(stderr, "soak FAIL: member %s ended %d (%s)\n",
+                   m.name.c_str(), static_cast<int>(m.last_state),
+                   m.error.c_str());
+      ++g_failures;
+      continue;
+    }
+    ++digest_checks;
+    if (m.state_crc != want.at(config_of.at(m.name))) {
+      ++digest_mismatches;
+      std::fprintf(stderr, "soak FAIL: member %s digest %08x != %08x\n",
+                   m.name.c_str(), m.state_crc,
+                   want.at(config_of.at(m.name)));
+    }
+  }
+  check(leaked_members == 0, "no member left active/backoff/parked");
+  check(digest_mismatches == 0, "all digests match fault-free references");
+  check(server.retries() >= static_cast<std::uint64_t>(faults_armed),
+        "every armed fault forced at least one retry");
+  check(resumed_members > 0, "at least one member resumed across a restart");
+  check(drain_restart_cycles >= 2, "soak ran >= 2 drain/restart cycles");
+
+  const svc::EngineStats st = server.engine_stats();
+  const std::uint64_t terminal =
+      st.completed + st.faulted + st.cancelled + st.deadline;
+  check(st.submitted == terminal,
+        "every submitted attempt reached a terminal state");
+  check(st.queue_depth == 0, "engine queue drained");
+  check(st.resumed >= static_cast<std::uint64_t>(resumed_members),
+        "engine counted the checkpoint resumes");
+
+  std::printf(
+      "\n=== Service soak: %d waves x (%d seq + %d par) members, %d steps "
+      "===\n",
+      spec.waves, spec.seq_per_wave, spec.par_per_wave, spec.steps);
+  std::printf(
+      "%d members, %d faults armed, %llu retries, %d drain/restart cycles, "
+      "%d resumed members, %.2f s wall\n",
+      static_cast<int>(server.members().size()), faults_armed,
+      static_cast<unsigned long long>(server.retries()), drain_restart_cycles,
+      resumed_members, wall_s);
+  std::printf(
+      "engine: %llu submitted = %llu completed + %llu faulted + %llu "
+      "cancelled + %llu deadline; %llu resumed\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.faulted),
+      static_cast<unsigned long long>(st.cancelled),
+      static_cast<unsigned long long>(st.deadline),
+      static_cast<unsigned long long>(st.resumed));
+  std::printf("burst verdicts: %d admitted, %d throttled, %d rejected\n",
+              admitted, throttled, rejected);
+  std::printf("digests: %d checked, %d mismatched\n", digest_checks,
+              digest_mismatches);
+  std::printf("soak verdict: %s\n\n", g_failures == 0 ? "PASS" : "FAIL");
+
+  if (!opts.json_path.empty()) {
+    obs::Report rep("service_soak");
+    rep.config()
+        .set("waves", spec.waves)
+        .set("seq_per_wave", spec.seq_per_wave)
+        .set("par_per_wave", spec.par_per_wave)
+        .set("steps", spec.steps)
+        .set("burst", spec.burst)
+        .set("workers", cfg.engine.workers)
+        .set("max_attempts", cfg.retry.max_attempts);
+    obs::Json& snaps = rep.root().arr("snapshots");
+    for (const auto& s : snapshots) {
+      snaps.push()
+          .set("label", s.label)
+          .set("members_total", s.members_total)
+          .set("done", s.done)
+          .set("active", s.active)
+          .set("backoff", s.backoff)
+          .set("parked", s.parked)
+          .set("retries", s.retries)
+          .set("restarts", s.restarts)
+          .set("engine_submitted", s.engine.submitted)
+          .set("engine_completed", s.engine.completed)
+          .set("engine_faulted", s.engine.faulted)
+          .set("engine_cancelled", s.engine.cancelled)
+          .set("engine_resumed", s.engine.resumed)
+          .set("queue_depth", static_cast<std::int64_t>(s.engine.queue_depth))
+          .set("flat_lines", static_cast<std::int64_t>(s.flat_lines));
+    }
+    rep.root()
+        .obj("admission")
+        .set("admitted", admitted)
+        .set("throttled", throttled)
+        .set("rejected", rejected);
+    rep.root()
+        .set("wall_s", wall_s)
+        .set("members", static_cast<int>(server.members().size()))
+        .set("faults_armed", faults_armed)
+        .set("drain_restart_cycles", drain_restart_cycles)
+        .set("retries", server.retries())
+        .set("resumed_members", resumed_members)
+        .set("digest_checks", digest_checks)
+        .set("digest_mismatches", digest_mismatches)
+        .set("leaked_members", leaked_members)
+        .set("snapshot_count", static_cast<int>(snapshots.size()))
+        .set("verdicts_deterministic", verdicts_ok)
+        .set("soak_pass", g_failures == 0);
+    if (!rep.write(opts.json_path)) return 1;
+  }
+
+  server.drain();
+  std::error_code ec;
+  fs::remove_all(ckpt_dir, ec);
+
+  {
+    const double rate = wall_s > 0.0
+                            ? static_cast<double>(server.members().size()) /
+                                  wall_s
+                            : 0.0;
+    auto* b = benchmark::RegisterBenchmark(
+        "soak/total", [wall_s, rate](benchmark::State& state) {
+          for (auto _ : state) state.SetIterationTime(wall_s);
+          state.counters["members_per_s"] = rate;
+        });
+    b->UseManualTime()->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return g_failures == 0 ? 0 : 1;
+}

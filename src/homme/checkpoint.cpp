@@ -505,14 +505,25 @@ void AsyncCheckpointWriter::save(const CheckpointInfo& info, const State& s) {
   if (error_ != nullptr) std::rethrow_exception(std::exchange(error_, nullptr));
   if (queue_.size() >= max_pending_) {
     ++stats_.blocked_saves;
-    cv_done_.wait(lk, [&] { return queue_.size() < max_pending_ || stop_; });
-    if (stop_) return;
+    // Deliberately ignore stop_ here: an accepted save must reach disk
+    // even when the destructor races us (the writer loop will not exit
+    // while save_waiters_ > 0, so it always frees a slot eventually).
+    // The old early-return on stop_ silently dropped the caller's final
+    // checkpoint during teardown.
+    ++save_waiters_;
+    cv_done_.wait(lk, [&] { return queue_.size() < max_pending_; });
+    --save_waiters_;
   }
   // State copy = COW snapshot: O(nchunks) refcount bumps, no field data
   // moves. The stepping thread's next write to any chunk un-shares it,
   // leaving this snapshot's view frozen.
   queue_.push_back(Pending{info, s});
   cv_space_.notify_one();
+}
+
+void AsyncCheckpointWriter::set_write_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  write_hook_ = std::move(hook);
 }
 
 void AsyncCheckpointWriter::drain() {
@@ -529,16 +540,28 @@ AsyncCheckpointWriter::Stats AsyncCheckpointWriter::stats() const {
 void AsyncCheckpointWriter::writer_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    cv_space_.wait(lk, [&] { return !queue_.empty() || stop_; });
-    if (queue_.empty() && stop_) return;
+    // Exit only once the queue is drained AND no save() is still waiting
+    // to enqueue — a blocked save's snapshot must reach disk, not die
+    // with the thread.
+    cv_space_.wait(lk, [&] {
+      return !queue_.empty() || (stop_ && save_waiters_ == 0);
+    });
+    if (queue_.empty() && stop_ && save_waiters_ == 0) return;
     Pending job = std::move(queue_.front());
     queue_.pop_front();
     busy_ = true;
+    // The queue slot frees at pop time, not when the write lands: a
+    // save() blocked on a full queue must not have to wait out the
+    // (possibly slow) disk write of the job that made room for it.
+    // drain() is not fooled — its predicate also requires !busy_.
+    cv_done_.notify_all();
+    const std::function<void()> hook = write_hook_;
     lk.unlock();
 
     DeltaCheckpointWriter::SaveRecord rec{};
     std::exception_ptr err;
     try {
+      if (hook) hook();
       rec = writer_.save(job.info, job.snapshot);
     } catch (...) {
       err = std::current_exception();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -176,6 +177,13 @@ class DeltaCheckpointWriter {
 /// chain. The queue is double-buffered: at most \p max_pending snapshots
 /// are in flight and save() blocks only when both slots are taken, so the
 /// step loop is decoupled from checkpoint I/O.
+///
+/// Shutdown ordering guarantee: destruction flushes — every save() that
+/// has been accepted (enqueued OR still blocked waiting for a queue slot)
+/// reaches disk before the writer thread exits. A Session torn down with
+/// a buffered final checkpoint in flight therefore never loses it; the
+/// background loop keeps draining until the queue is empty and no save()
+/// is waiting, and only then honors the stop flag.
 class AsyncCheckpointWriter {
  public:
   explicit AsyncCheckpointWriter(std::string base, int full_interval = 1,
@@ -187,6 +195,11 @@ class AsyncCheckpointWriter {
 
   /// Snapshot + enqueue. Rethrows a background write error, if any.
   void save(const CheckpointInfo& info, const State& s);
+
+  /// Test hook: called by the background thread before each disk write,
+  /// outside the queue lock. Lets shutdown-ordering tests hold the writer
+  /// mid-flight deterministically. Set before the first save().
+  void set_write_hook(std::function<void()> hook);
 
   /// Block until every queued save is on disk; rethrows the first
   /// background error.
@@ -213,10 +226,12 @@ class AsyncCheckpointWriter {
   mutable std::mutex mu_;
   std::condition_variable cv_space_, cv_done_;
   std::deque<Pending> queue_;
+  std::size_t save_waiters_ = 0;  ///< save() calls blocked on a full queue
   bool stop_ = false;
   bool busy_ = false;
   std::exception_ptr error_;
   Stats stats_;
+  std::function<void()> write_hook_;
   std::thread thread_;
 };
 

@@ -1,5 +1,6 @@
 #include "model/session.hpp"
 
+#include <cstdio>
 #include <mutex>
 #include <utility>
 
@@ -311,15 +312,47 @@ void Session::step() {
 void Session::run(int n) {
   for (int i = 0; i < n; ++i) {
     step();
-    if (cfg_.checkpoint_freq > 0 &&
-        step_count_ % cfg_.checkpoint_freq == 0) {
-      if (ckpt_writer_ != nullptr) {
-        save();  // async delta chain; serialization off this thread
-      } else {
-        save(cfg_.checkpoint_base);
-      }
-    }
+    maybe_checkpoint();
   }
+}
+
+bool Session::checkpoint_now() {
+  if (cfg_.checkpoint_base.empty()) return false;
+  if (ckpt_writer_ != nullptr) {
+    save();  // async delta chain; serialization off this thread
+  } else {
+    save(cfg_.checkpoint_base);
+  }
+  return true;
+}
+
+bool Session::maybe_checkpoint() {
+  if (cfg_.checkpoint_freq <= 0 || step_count_ % cfg_.checkpoint_freq != 0) {
+    return false;
+  }
+  return checkpoint_now();
+}
+
+bool Session::can_resume() const {
+  if (cfg_.checkpoint_base.empty()) return false;
+  const std::string path =
+      ckpt_writer_ != nullptr
+          ? cfg_.checkpoint_base + ".full"
+          : homme::checkpoint_rank_path(cfg_.checkpoint_base, 0);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+bool Session::try_resume() {
+  if (!can_resume()) return false;
+  if (ckpt_writer_ != nullptr) {
+    restore();
+  } else {
+    restore(cfg_.checkpoint_base);
+  }
+  return true;
 }
 
 homme::Diagnostics Session::diagnose() {

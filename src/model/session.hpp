@@ -234,6 +234,26 @@ class Session {
   /// the configured base. Bit-identical to the last save().
   void restore();
 
+  /// True when a restartable checkpoint for this config exists on disk:
+  /// the delta chain's "<base>.full" when delta checkpoints are enabled,
+  /// the legacy "<base>.r0" image otherwise. Always false without a
+  /// configured checkpoint_base.
+  bool can_resume() const;
+  /// Restore from the configured checkpoint base when one exists on
+  /// disk; returns false (leaving the fresh initial state untouched)
+  /// when none does. Throws CheckpointError on a corrupt or mismatched
+  /// file. Resuming realigns step_count and the remap cadence, and the
+  /// next delta save restarts the chain with a fresh full image.
+  bool try_resume();
+  /// Unconditional checkpoint to the configured base (async delta chain
+  /// when enabled, legacy "<base>.r<rank>" images otherwise). Returns
+  /// false when the config names no checkpoint_base. Used by the service
+  /// layer to park in-flight members at drain time.
+  bool checkpoint_now();
+  /// Apply the checkpoint cadence after a step: checkpoints when
+  /// checkpoint_freq > 0 divides step_count(). Returns whether it did.
+  bool maybe_checkpoint();
+
   // -- introspection --------------------------------------------------------
 
   const SessionConfig& config() const { return cfg_; }

@@ -163,6 +163,50 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+void Json::flatten(const std::string& prefix, std::string& out) const {
+  char buf[64];
+  auto line = [&out, &prefix](const char* value) {
+    out += prefix;
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+  switch (kind_) {
+    case Kind::kNumber:
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(scalar_));
+      line(buf);
+      break;
+    case Kind::kInteger:
+      std::snprintf(buf, sizeof(buf), "%" PRId64,
+                    std::get<std::int64_t>(scalar_));
+      line(buf);
+      break;
+    case Kind::kUnsigned:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                    std::get<std::uint64_t>(scalar_));
+      line(buf);
+      break;
+    case Kind::kBool:
+      line(std::get<bool>(scalar_) ? "1" : "0");
+      break;
+    case Kind::kString:
+      break;  // labels live in the JSON form; a scrape line wants a number
+    case Kind::kObject:
+      for (const auto& [key, child] : children_) {
+        child->flatten(prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case Kind::kArray:
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        children_[i].second->flatten(
+            (prefix.empty() ? std::string() : prefix + ".") +
+                std::to_string(i),
+            out);
+      }
+      break;
+  }
+}
+
 Report::Report(std::string bench_name) {
   root_.set("bench", bench_name);
 }
@@ -178,6 +222,12 @@ void Report::add_summary(const Summary& s) {
     rec.set("self_us", p.self_us);
     for (const auto& [cname, v] : p.counters) rec.set(cname, v);
   }
+}
+
+std::string Report::flat(std::string_view prefix) const {
+  std::string out;
+  root_.flatten(std::string(prefix), out);
+  return out;
 }
 
 bool Report::write(const std::string& path) const {

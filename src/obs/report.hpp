@@ -55,6 +55,12 @@ class Json {
   /// Serialize with two-space indentation.
   std::string dump(int indent = 0) const;
 
+  /// Flatten every numeric/bool leaf into "path value" lines: object keys
+  /// are dot-joined onto \p prefix, array elements indexed by position,
+  /// bools emitted as 0/1. Strings are skipped — a scrape target wants
+  /// numbers, and string labels already live in the JSON form.
+  void flatten(const std::string& prefix, std::string& out) const;
+
  private:
   enum class Kind { kObject, kArray, kNumber, kInteger, kUnsigned, kBool,
                     kString };
@@ -83,6 +89,10 @@ class Report {
   void add_summary(const Summary& s);
 
   std::string json() const { return root_.dump(); }
+  /// Scrape-friendly flat key/value rendering of the whole document, one
+  /// "path value" line per numeric/bool leaf (see Json::flatten). An
+  /// optional \p prefix namespaces every line ("svc." -> "svc.queue_depth").
+  std::string flat(std::string_view prefix = "") const;
   /// Write to \p path; returns false (and prints to stderr) on I/O error.
   bool write(const std::string& path) const;
 

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+/// \file admission.hpp
+/// Per-tenant admission control for the svc::Server front-end.
+///
+/// The engine's bounded queue is a global backpressure valve; admission
+/// control is the policy layer above it. Each tenant (a named client of
+/// the service — "ops", "research", a batch pipeline) gets a quota:
+/// a hard cap on concurrently active members, a soft cap past which new
+/// members are still admitted but demoted to a lower priority, and a
+/// base priority tier. The controller is pure bookkeeping — no locks, no
+/// time — so the server can hold it under its own mutex and the verdict
+/// logic stays unit-testable in isolation.
+
+namespace svc {
+
+/// What the server decided about one submission.
+enum class Admission : std::uint8_t {
+  kAdmitted = 0,  ///< within quota, enqueued at the tenant's tier
+  kThrottled,     ///< past the soft cap: enqueued at demoted priority
+  kRejected       ///< past the hard cap (or unknown tenant): not enqueued
+};
+
+std::string_view to_string(Admission a);
+
+/// One tenant's standing limits.
+struct TenantQuota {
+  /// Hard cap on members concurrently active (queued or running through
+  /// the server). At the cap a submission is Rejected. <= 0: unlimited.
+  int max_active = 0;
+  /// Soft cap: at or past this many active members a new submission is
+  /// still admitted, but at throttle_priority instead of the tier.
+  /// <= 0 or >= max_active semantics: disabled.
+  int soft_active = 0;
+  /// Base priority for this tenant's members (higher runs first).
+  int tier = 0;
+  /// Priority used for Throttled members; should be below every tier.
+  int throttle_priority = -1;
+};
+
+/// The verdict plus the priority the member should carry into the queue.
+struct AdmissionVerdict {
+  Admission decision = Admission::kRejected;
+  int priority = 0;
+  std::string reason;  ///< human-readable, for the rejection error
+};
+
+/// Book-keeps active member counts per tenant and issues verdicts.
+/// Not thread safe by design: the owner serializes access.
+class AdmissionController {
+ public:
+  /// Register (or replace) a tenant's quota. Unknown tenants are
+  /// rejected outright, so every client must be provisioned first.
+  void set_quota(const std::string& tenant, TenantQuota q) {
+    tenants_[tenant].quota = q;
+  }
+  bool has_tenant(const std::string& tenant) const {
+    return tenants_.count(tenant) != 0;
+  }
+
+  /// Decide on one submission. Does NOT change counts: the caller calls
+  /// on_admitted() only once the member is actually enqueued (the engine
+  /// queue may still reject, and a failed enqueue must not leak a slot).
+  AdmissionVerdict decide(const std::string& tenant) const {
+    AdmissionVerdict v;
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      v.decision = Admission::kRejected;
+      v.reason = "unknown tenant \"" + tenant + "\"";
+      return v;
+    }
+    const TenantQuota& q = it->second.quota;
+    const int active = it->second.active;
+    if (q.max_active > 0 && active >= q.max_active) {
+      v.decision = Admission::kRejected;
+      v.reason = "tenant \"" + tenant + "\" at hard cap (" +
+                 std::to_string(active) + "/" +
+                 std::to_string(q.max_active) + " active)";
+      return v;
+    }
+    if (q.soft_active > 0 && active >= q.soft_active) {
+      v.decision = Admission::kThrottled;
+      v.priority = q.throttle_priority;
+      v.reason = "tenant \"" + tenant + "\" past soft cap (" +
+                 std::to_string(active) + "/" +
+                 std::to_string(q.soft_active) + "), demoted";
+      return v;
+    }
+    v.decision = Admission::kAdmitted;
+    v.priority = q.tier;
+    return v;
+  }
+
+  /// A member of \p tenant entered the system (post-enqueue).
+  void on_admitted(const std::string& tenant) { ++tenants_[tenant].active; }
+  /// A member of \p tenant left the system for good (Completed, retries
+  /// exhausted, or cancelled). Parked members keep their slot — they
+  /// still belong to the tenant across a drain/restart cycle.
+  void on_retired(const std::string& tenant) {
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.active > 0) --it->second.active;
+  }
+
+  int active(const std::string& tenant) const {
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.active;
+  }
+
+  /// Per-tenant admission counters for the metrics snapshot.
+  struct TenantCounters {
+    std::uint64_t admitted = 0, throttled = 0, rejected = 0;
+  };
+  void count(const std::string& tenant, Admission a) {
+    auto& c = tenants_[tenant].counters;
+    switch (a) {
+      case Admission::kAdmitted: ++c.admitted; break;
+      case Admission::kThrottled: ++c.throttled; break;
+      case Admission::kRejected: ++c.rejected; break;
+    }
+  }
+  const std::map<std::string, TenantQuota> quotas() const {
+    std::map<std::string, TenantQuota> out;
+    for (const auto& [name, t] : tenants_) out.emplace(name, t.quota);
+    return out;
+  }
+  TenantCounters counters(const std::string& tenant) const {
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? TenantCounters{} : it->second.counters;
+  }
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    int active = 0;
+    TenantCounters counters;
+  };
+  std::map<std::string, Tenant> tenants_;
+};
+
+inline std::string_view to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kThrottled: return "throttled";
+    case Admission::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace svc

@@ -134,10 +134,7 @@ RunTicket Engine::submit(RunRequest req) {
   job.handle = RunTicket(new RunHandle(
       next_id_.fetch_add(1, std::memory_order_relaxed)));
   job.bundle = bundle(req.config.ne, req.config.nranks);
-  {
-    std::lock_guard<std::mutex> lock(bundles_mu_);
-    bytes_unshared_ += job.bundle->bytes();
-  }
+  const std::size_t bundle_bytes = job.bundle->bytes();
   job.request = std::move(req);
   job.submitted = std::chrono::steady_clock::now();
   RunTicket ticket = job.handle;
@@ -149,8 +146,16 @@ RunTicket Engine::submit(RunRequest req) {
     throw std::runtime_error("svc::Engine: submit after shutdown");
   }
   if (pushed == BoundedQueue<Job>::Push::kFull) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.rejected_full;
     throw QueueFull("svc::Engine: submission queue is full (" +
                     std::to_string(queue_.capacity()) + " pending)");
+  }
+  // Accounting only after a successful push: a rejected request must not
+  // leak into the unshared-bytes or submitted counters.
+  {
+    std::lock_guard<std::mutex> lock(bundles_mu_);
+    bytes_unshared_ += bundle_bytes;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -171,6 +176,21 @@ void Engine::shutdown(bool drain) {
   workers_.clear();
 }
 
+void Engine::set_member_hook(
+    std::function<void(std::uint64_t, RunState)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  member_hook_ = std::move(hook);
+}
+
+void Engine::notify_terminal(std::uint64_t id, RunState s) {
+  std::function<void(std::uint64_t, RunState)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = member_hook_;
+  }
+  if (hook) hook(id, s);
+}
+
 void Engine::worker_loop(int worker) {
   while (auto job = queue_.pop()) {
     if (discard_.load(std::memory_order_relaxed)) {
@@ -178,8 +198,12 @@ void Engine::worker_loop(int worker) {
     }
     if (!job->handle->begin_running(worker)) {
       // Cancelled while queued: the handle is already terminal.
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++counters_.cancelled;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.cancelled;
+        ++counters_.cancelled_queued;
+      }
+      notify_terminal(job->handle->id(), RunState::kCancelled);
       continue;
     }
     execute(*job, worker);
@@ -203,7 +227,15 @@ void Engine::execute(Job& job, int worker) {
 
   try {
     model::Session session(req.config, job.bundle);
-    for (int i = 0; i < req.steps; ++i) {
+    if (req.resume && session.try_resume()) {
+      res.resumed_from = session.step_count();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.resumed;
+    }
+    // steps is the total target, so a resumed member runs only the
+    // remainder; a fresh session starts at step_count 0 and this loop
+    // degenerates to the plain fixed-budget form.
+    while (session.step_count() < req.steps) {
       if (h.cancel_requested()) {
         res.state = RunState::kCancelled;
         break;
@@ -214,11 +246,15 @@ void Engine::execute(Job& job, int worker) {
         break;
       }
       session.step();
+      session.maybe_checkpoint();
       ++res.steps_done;
       if (req.step_stall_s > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(req.step_stall_s));
       }
+    }
+    if (res.state != RunState::kCompleted && req.checkpoint_on_exit) {
+      session.checkpoint_now();  // park at the exact stop step
     }
     res.fallbacks = session.fallbacks();
     store = session.store_stats();
@@ -253,6 +289,7 @@ void Engine::execute(Job& job, int worker) {
       .set("queue_wait_s", res.queue_wait_s)
       .set("worker", res.worker)
       .set("fallbacks", res.fallbacks)
+      .set("resumed_from", res.resumed_from)
       .set("state_crc", static_cast<std::uint64_t>(res.state_crc));
 
   {
@@ -276,7 +313,9 @@ void Engine::execute(Job& job, int worker) {
       default: break;
     }
   }
+  const RunState final_state = res.state;
   h.finish(std::move(res));
+  notify_terminal(h.id(), final_state);
 }
 
 EngineStats Engine::stats() const {
@@ -310,6 +349,9 @@ obs::Report Engine::summary_report() const {
       .set("faulted", s.faulted)
       .set("cancelled", s.cancelled)
       .set("deadline", s.deadline)
+      .set("rejected_full", s.rejected_full)
+      .set("cancelled_queued", s.cancelled_queued)
+      .set("resumed", s.resumed)
       .set("member_steps", s.member_steps)
       .set("wall_s", s.wall_s)
       .set("busy_s", s.busy_s)

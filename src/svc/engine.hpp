@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,18 @@ struct RunRequest {
   /// the worker pool exists to overlap exactly that latency. 0 disables.
   double step_stall_s = 0.0;
   bool keep_state = false; ///< retain the final global state in the result
+  /// Resume from the config's checkpoint chain when one exists on disk
+  /// (model::Session::try_resume). \p steps then names the TOTAL step
+  /// target — a member parked at step M runs only the remaining N - M
+  /// steps. Without a checkpoint on disk the member starts fresh, so a
+  /// first attempt and a retry share one request shape.
+  bool resume = false;
+  /// Checkpoint once more when the member stops early (cancelled or past
+  /// deadline) and the config names a checkpoint base, so a later resume
+  /// continues from the exact stop step rather than the last cadence
+  /// save. Faulted members don't get this (their state may be mid-step);
+  /// they retry from the last cadence checkpoint.
+  bool checkpoint_on_exit = false;
 };
 
 /// Terminal outcome of one request. Move-only (owns the report and,
@@ -72,6 +85,7 @@ struct RunResult {
   double queue_wait_s = 0.0;   ///< submit -> first execution
   int worker = -1;
   int fallbacks = 0;           ///< accelerator host fallbacks
+  int resumed_from = 0;        ///< step_count restored from (0: fresh start)
   /// CRC32 of the member's serialized final state — the bit-identity
   /// handle: equal configs must yield equal digests at any worker count.
   std::uint32_t state_crc = 0;
@@ -138,6 +152,9 @@ struct EngineStats {
   std::uint64_t faulted = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t deadline = 0;
+  std::uint64_t rejected_full = 0;     ///< QueueFull throws (reject mode)
+  std::uint64_t cancelled_queued = 0;  ///< cancelled before first execution
+  std::uint64_t resumed = 0;           ///< members restored from a checkpoint
   std::uint64_t member_steps = 0;   ///< steps finished across all members
   double wall_s = 0.0;              ///< engine lifetime at snapshot
   double busy_s = 0.0;              ///< summed worker executing time
@@ -206,6 +223,12 @@ class Engine {
   /// Engine-level summary: config + the EngineStats fields as a report.
   obs::Report summary_report() const;
 
+  /// Install a hook called from a worker thread (outside engine locks)
+  /// each time a member reaches a terminal state. One hook; set it
+  /// before submitting. The server layer uses it to nudge its lifecycle
+  /// thread instead of polling handles.
+  void set_member_hook(std::function<void(std::uint64_t, RunState)> hook);
+
   /// The shared immutable bundle for a shape (built on first use).
   std::shared_ptr<const model::MeshBundle> bundle(int ne, int nranks = 1);
 
@@ -221,6 +244,7 @@ class Engine {
 
   void worker_loop(int worker);
   void execute(Job& job, int worker);
+  void notify_terminal(std::uint64_t id, RunState s);
 
   EngineConfig cfg_;
   BoundedQueue<Job> queue_;
@@ -231,6 +255,9 @@ class Engine {
 
   mutable std::mutex stats_mu_;
   EngineStats counters_;  ///< mutable fields; wall/depth filled at snapshot
+
+  std::mutex hook_mu_;
+  std::function<void(std::uint64_t, RunState)> member_hook_;
 
   mutable std::mutex bundles_mu_;
   std::map<std::pair<int, int>, std::shared_ptr<const model::MeshBundle>>

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -16,8 +18,10 @@
 #include <fstream>
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "homme/driver.hpp"
@@ -228,6 +232,100 @@ TEST(DeltaCheckpoint, WriterChainRestoresNewestSaveBitIdentically) {
   State rolled;
   homme::DeltaCheckpointWriter::restore_chain(base, rolled);
   EXPECT_TRUE(states_bitwise_equal(rolled, s));
+
+  std::remove((base + ".full").c_str());
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+// Regression: the async writer's shutdown ordering. A writer destroyed
+// with buffered checkpoints in flight must flush every accepted save,
+// never drop one — the final checkpoint of a torn-down Session is
+// exactly the one a restart needs.
+TEST(AsyncCheckpoint, DestructionFlushesBufferedSaves) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+  homme::Dycore dycore(mesh, d, homme::DycoreConfig{});
+
+  const std::string base = ::testing::TempDir() + "swdk_async_flush.ck";
+  CheckpointInfo info = make_info(d, s);
+  {
+    homme::AsyncCheckpointWriter writer(base, /*full_interval=*/2,
+                                        /*max_pending=*/2);
+    for (int i = 0; i < 3; ++i) {
+      dycore.step(s);
+      info.step_count = dycore.step_count();
+      writer.save(info, s);
+    }
+    // No drain(): destruction alone must put all three saves on disk.
+  }
+  State restored;
+  const CheckpointInfo got =
+      homme::DeltaCheckpointWriter::restore_chain(base, restored);
+  EXPECT_EQ(got.step_count, 3);
+  EXPECT_TRUE(states_bitwise_equal(restored, s));
+
+  std::remove((base + ".full").c_str());
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+// The sharpest corner of the same bug: a save() blocked on a full queue
+// while the destructor runs used to wake on the stop flag and silently
+// drop its snapshot. The write hook holds the background thread so the
+// queue is provably full, the destructor provably racing, and the
+// blocked save still provably on disk afterwards.
+TEST(AsyncCheckpoint, BlockedFinalSaveSurvivesTeardownRace) {
+  const Dims d = small_dims();
+  auto mesh = mesh::CubedSphere::build(2, mesh::kEarthRadius);
+  State s = homme::baroclinic(mesh, d);
+  homme::init_tracers(mesh, d, s);
+  homme::Dycore dycore(mesh, d, homme::DycoreConfig{});
+
+  const std::string base = ::testing::TempDir() + "swdk_async_race.ck";
+  auto writer = std::make_unique<homme::AsyncCheckpointWriter>(
+      base, /*full_interval=*/1, /*max_pending=*/1);
+  std::atomic<bool> gate{false};
+  writer->set_write_hook([&gate] {
+    while (!gate.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  });
+
+  CheckpointInfo info = make_info(d, s);
+  auto save_step = [&] {
+    dycore.step(s);
+    info.step_count = dycore.step_count();
+    writer->save(info, s);
+  };
+  save_step();  // popped by the background thread, held at the hook
+  save_step();  // fills the single queue slot
+  const State final_state = [&] {
+    dycore.step(s);
+    return s;
+  }();
+  info.step_count = dycore.step_count();
+  std::thread blocked([&] { writer->save(info, final_state); });
+  while (writer->stats().blocked_saves == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Start destruction while the third save is still blocked, then let
+  // the writer run. Every accepted save must reach disk.
+  std::thread destroyer([&] { writer.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate.store(true);
+  blocked.join();
+  destroyer.join();
+
+  State restored;
+  const CheckpointInfo got =
+      homme::DeltaCheckpointWriter::restore_chain(base, restored);
+  EXPECT_EQ(got.step_count, 3);
+  EXPECT_TRUE(states_bitwise_equal(restored, final_state));
 
   std::remove((base + ".full").c_str());
   for (int k = 1; k < 8; ++k) {

@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "svc/engine.hpp"
 #include "svc/queue.hpp"
+#include "svc/server.hpp"
+#include "sw/fault.hpp"
 
 namespace {
 
@@ -94,6 +99,11 @@ TEST(SvcEngine, RejectModeThrowsQueueFull) {
   EXPECT_TRUE(threw);
   for (auto& t : tickets) t->wait();
   engine.shutdown();
+  // The rejection is visible in the stats, and only the accepted
+  // submissions count as submitted.
+  const svc::EngineStats st = engine.stats();
+  EXPECT_GE(st.rejected_full, 1u);
+  EXPECT_EQ(st.submitted, tickets.size());
 }
 
 TEST(SvcEngine, BlockingBackpressureRunsEverything) {
@@ -122,9 +132,18 @@ TEST(SvcEngine, CancelQueuedAndRunning) {
   slow.steps = 50;
   slow.step_stall_s = 0.05;
   RunTicket running = engine.submit(slow);
+  // Wait for the worker to actually start it — otherwise, on a busy (or
+  // single-CPU) host, cancel() could land before the pop and terminalize
+  // this member as queued-cancelled too.
+  while (running->state() == RunState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   RunTicket queued = engine.submit(slow);
 
   queued->cancel();  // still queued behind the running member
+  // The cancel terminalizes a queued-but-unstarted request immediately —
+  // no waiting for a worker to pop and discard it.
+  EXPECT_EQ(queued->state(), RunState::kCancelled);
   const svc::RunResult& qres = queued->wait();
   EXPECT_EQ(qres.state, RunState::kCancelled);
   EXPECT_EQ(qres.steps_done, 0);
@@ -138,6 +157,7 @@ TEST(SvcEngine, CancelQueuedAndRunning) {
   engine.shutdown();
   const svc::EngineStats st = engine.stats();
   EXPECT_EQ(st.cancelled, 2u);
+  EXPECT_EQ(st.cancelled_queued, 1u);  // only the never-started member
 }
 
 TEST(SvcEngine, DeadlineExpiresMidRun) {
@@ -272,6 +292,112 @@ TEST(SvcEngine, SummaryReportCarriesThroughput) {
   EXPECT_EQ(st.member_steps, 8u);
   EXPECT_GT(st.member_steps_per_s(), 0.0);
   engine.shutdown();
+}
+
+TEST(SvcEngine, ResumeContinuesFromCheckpointDigestIdentical) {
+  const std::string base = ::testing::TempDir() + "svc_resume.ck";
+  model::SessionConfig cfg =
+      tiny_config().with_delta_checkpoints(base, /*freq=*/2,
+                                           /*full_interval=*/2);
+
+  // Uninterrupted 10-step reference (checkpointing does not perturb the
+  // trajectory, so the plain config gives the same digest).
+  std::uint32_t want = 0;
+  {
+    Engine engine({.workers = 1, .queue_capacity = 4});
+    RunRequest ref;
+    ref.config = tiny_config();
+    ref.steps = 10;
+    want = engine.submit(ref)->wait().state_crc;
+  }
+
+  Engine engine({.workers = 1, .queue_capacity = 4});
+  RunRequest first;
+  first.config = cfg;
+  first.steps = 4;  // leaves a chain ending at step 4
+  EXPECT_EQ(engine.submit(first)->wait().state, RunState::kCompleted);
+
+  RunRequest rest;
+  rest.config = cfg;
+  rest.steps = 10;  // TOTAL target: only 6 more steps run
+  rest.resume = true;
+  // Hold the ticket: res refers into the handle, which must outlive the
+  // reads below even after the worker drops its own reference.
+  const svc::RunTicket ticket = engine.submit(rest);
+  const svc::RunResult& res = ticket->wait();
+  EXPECT_EQ(res.state, RunState::kCompleted);
+  EXPECT_EQ(res.resumed_from, 4);
+  EXPECT_EQ(res.steps_done, 6);
+  EXPECT_EQ(res.state_crc, want);
+  EXPECT_EQ(engine.stats().resumed, 1u);
+  engine.shutdown();
+
+  std::remove((base + ".full").c_str());
+  for (int k = 1; k < 8; ++k) {
+    std::remove((base + ".d" + std::to_string(k)).c_str());
+  }
+}
+
+TEST(SvcRetry, BackoffScheduleIsDeterministicAndBounded) {
+  svc::RetryPolicy policy;
+  policy.backoff_base_s = 0.5;
+  policy.backoff_max_s = 4.0;
+  policy.jitter_frac = 0.25;
+  policy.jitter_seed = 42;
+
+  // Pure function of (seed, member, attempt): same inputs, same delay.
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double a = policy.delay_s("member-a", attempt);
+    EXPECT_EQ(a, policy.delay_s("member-a", attempt));
+    // Exponential envelope with the jitter band, capped at backoff_max.
+    const double nominal = std::min(0.5 * double(1 << (attempt - 1)), 4.0);
+    EXPECT_GE(a, nominal * 0.75);
+    EXPECT_LE(a, nominal * 1.25);
+  }
+  // Different members (and different seeds) decorrelate.
+  EXPECT_NE(policy.delay_s("member-a", 1), policy.delay_s("member-b", 1));
+  svc::RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  EXPECT_NE(policy.delay_s("member-a", 1), other.delay_s("member-a", 1));
+}
+
+TEST(SvcRetry, SameFaultSeedSameScheduleAndDigests) {
+  // Two identical servers fed identical fault plans must retry on the
+  // same schedule and land on the same final digests — the soak bench's
+  // reproducibility contract in miniature.
+  auto run_once = [](std::vector<double>* delays) {
+    sw::FaultPlan plan(7);
+    plan.inject({sw::FaultKind::kMsgDrop, /*target=*/1, /*op_index=*/2});
+    model::SessionConfig cfg = tiny_config();
+    cfg.with_ranks(2).with_watchdog(0.2);
+    cfg.faults = &plan;
+
+    svc::ServerConfig scfg;
+    scfg.engine.workers = 2;
+    scfg.retry.max_attempts = 3;
+    scfg.retry.sleep_scale = 0.0;
+    scfg.checkpoint_dir.clear();  // retries restart from step 0
+    svc::Server server(scfg);
+    server.add_tenant("t", svc::TenantQuota{});
+    RunRequest req;
+    req.config = cfg;
+    req.steps = 6;
+    EXPECT_EQ(server.submit("t", "m", req).admission,
+              svc::Admission::kAdmitted);
+    server.wait_idle();
+    const svc::MemberStatus status = server.member("m");
+    EXPECT_EQ(status.last_state, RunState::kCompleted);
+    EXPECT_EQ(status.attempts, 2);
+    *delays = status.retry_delays_s;
+    return status.state_crc;
+  };
+
+  std::vector<double> delays1, delays2;
+  const std::uint32_t crc1 = run_once(&delays1);
+  const std::uint32_t crc2 = run_once(&delays2);
+  EXPECT_EQ(crc1, crc2);
+  ASSERT_EQ(delays1.size(), 1u);
+  EXPECT_EQ(delays1, delays2);
 }
 
 }  // namespace
