@@ -21,6 +21,7 @@
 ///   --members <n>    ensemble member count
 ///   --latency-us <n> modeled per-step coupler/ingest stall, microseconds
 ///   --ckpt-interval <k> full checkpoint image every k saves (deltas between)
+///   --core-groups <n> core groups per processor/pool (multi-CG benches)
 ///
 /// Parsing is strict: every value is read with strtol and must be a
 /// complete decimal integer within [min, 1e9] — a missing, non-numeric,
@@ -41,6 +42,7 @@ struct BenchOptions {
   int members = -1;        ///< --members; -1 = bench default
   int latency_us = -1;     ///< --latency-us; -1 = bench default
   int ckpt_interval = -1;  ///< --ckpt-interval; -1 = bench default
+  int core_groups = -1;    ///< --core-groups; -1 = bench default
 
   int steps_or(int fallback) const { return steps >= 0 ? steps : fallback; }
   int ne_or(int fallback) const { return ne >= 0 ? ne : fallback; }
@@ -55,6 +57,9 @@ struct BenchOptions {
   }
   int ckpt_interval_or(int fallback) const {
     return ckpt_interval >= 0 ? ckpt_interval : fallback;
+  }
+  int core_groups_or(int fallback) const {
+    return core_groups >= 0 ? core_groups : fallback;
   }
 
   /// Extract (and remove) the shared flags so benchmark::Initialize only
@@ -96,6 +101,7 @@ struct BenchOptions {
     take_int("--members", opts.members, 1);
     take_int("--latency-us", opts.latency_us, 0);
     take_int("--ckpt-interval", opts.ckpt_interval, 1);
+    take_int("--core-groups", opts.core_groups, 1);
     return opts;
   }
 };

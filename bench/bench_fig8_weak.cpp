@@ -59,8 +59,13 @@ std::vector<MeasuredPoint> measure_weak(int steps) {
   return out;
 }
 
+// Core groups per processor used for calibration; set once from
+// --core-groups in main() before the first model() call.
+int g_core_groups = 4;
+
 const perf::MachineModel& model() {
-  static const auto m = perf::MachineModel::calibrate(128, 25, 32);
+  static const auto m = perf::MachineModel::calibrate(128, 25, 32,
+                                                      g_core_groups);
   return m;
 }
 
@@ -75,6 +80,17 @@ bool write_json(const std::string& path,
   const auto& m = model();
   obs::Report rep("fig8_weak");
   rep.config().set("nlev", 128).set("qsize", 25).set("version", "athread");
+  rep.root()
+      .set("contention_model", "measured")
+      .set("active_cgs", m.active_cgs)
+      .set("contention_slowdown", m.contention_slowdown);
+  obs::Json& curve = rep.root().arr("contention_curve");
+  for (const auto& pt : m.contention) {
+    curve.push()
+        .set("active_cgs", pt.active_cgs)
+        .set("slowdown", pt.slowdown)
+        .set("per_cg_gbytes_s", pt.per_cg_gbytes_s);
+  }
   obs::Json& records = rep.root().arr("records");
   auto add = [&](long long epp, long long p) {
     const int ne = ne_for(epp, p);
@@ -120,6 +136,8 @@ void print_measured(const std::vector<MeasuredPoint>& measured) {
 void print_figure() {
   const auto& m = model();
   std::printf("\n=== Figure 8: HOMME weak scaling (athread redesign) ===\n");
+  std::printf("contention: measured on %d core groups, slowdown %.3fx\n",
+              m.active_cgs, m.contention_slowdown);
   std::printf("%-12s %10s %8s %12s %12s\n", "elems/proc", "procs", "ne",
               "PFlops", "weak-eff");
   for (long long epp : {48LL, 192LL, 768LL}) {
@@ -161,6 +179,7 @@ void register_benchmarks() {
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  g_core_groups = opts.core_groups_or(4);
   print_figure();
   const std::vector<MeasuredPoint> measured =
       measure_weak(opts.steps_or(opts.small ? 2 : 6));

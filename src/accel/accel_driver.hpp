@@ -1,18 +1,19 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/packed.hpp"
 #include "homme/driver.hpp"
-#include "sw/core_group.hpp"
+#include "sw/cg_pool.hpp"
 #include "sw/fault.hpp"
 
 /// \file accel_driver.hpp
 /// Glue between the homme dycore and the accel kernel pipeline: a
 /// homme::StepAccelerator that packs the state, runs the ported kernels
-/// on a simulated CoreGroup, and unpacks the prognostics. This is the
-/// boundary the paper's redesigned CAM-SE crosses on every dynamics
+/// on a simulated core-group pool, and unpacks the prognostics. This is
+/// the boundary the paper's redesigned CAM-SE crosses on every dynamics
 /// step — host element structures on one side, flat DMA-able images on
 /// the other.
 
@@ -26,6 +27,15 @@ namespace accel {
 /// default-construct with the mesh and dims. For a ParallelDycore the
 /// local state is a permutation of a subset of mesh elements; pass the
 /// local->global map (ParallelDycore::global_elem) as \p geom_map.
+///
+/// By default the accelerator owns a private 1-CG pool, exactly the
+/// historical single-core-group behavior. use_core_groups(n) widens the
+/// private pool; set_cg_pool() instead binds to an externally owned
+/// sw::CgPool (svc::Engine placement, one processor shared by several
+/// members) with an explicit CG-affinity list. Either way every remap
+/// shards its elements contiguously across the assigned groups — the
+/// remap arithmetic is per-element independent, so the sharded result is
+/// bit-identical to the 1-CG result.
 class PipelineAccelerator final : public homme::StepAccelerator {
  public:
   PipelineAccelerator(const mesh::CubedSphere& m, const homme::Dims& d,
@@ -33,24 +43,44 @@ class PipelineAccelerator final : public homme::StepAccelerator {
 
   /// Offload to the CPE pipeline; on a kernel fault (injected DMA/reg
   /// failure, CPE death, LDM overflow, scheduler deadlock) the poisoned
-  /// launch is discarded — the host state was never touched — and the
-  /// remap re-runs on the host reference path, bit-identical to a
+  /// launch is discarded — the host state was never touched; shard
+  /// images unpack only after every shard succeeded — and the remap
+  /// re-runs on the host reference path, bit-identical to a
   /// never-accelerated step. The fallback is recorded in the launch
   /// stats (CpeCounters::host_fallbacks) and in fallbacks()/last_fault().
   void vertical_remap(homme::State& s) override;
 
+  /// Shard subsequent remaps across \p n core groups of a fresh private
+  /// pool (affinity 0..n-1). Replaces any previously bound pool.
+  void use_core_groups(int n);
+  /// Bind to an externally owned pool, running shards on the groups in
+  /// \p cgs (in order). The pool's per-group locks serialize against
+  /// other accelerators sharing the processor; DMA streams of all
+  /// tenants contend on the pool's shared memory controller.
+  void set_cg_pool(std::shared_ptr<sw::CgPool> pool, std::vector<int> cgs);
+  const std::shared_ptr<sw::CgPool>& cg_pool() const { return pool_; }
+  const std::vector<int>& cg_affinity() const { return cgs_; }
+  int core_groups() const { return static_cast<int>(cgs_.size()); }
+
   /// Inject simulated faults into subsequent launches (nullptr detaches).
-  void set_fault_plan(sw::FaultPlan* plan) { cg_.set_fault_plan(plan); }
+  /// The plan is installed on each assigned core group only for the
+  /// duration of that group's shard launch, so siblings sharing the pool
+  /// never see it; its per-CPE op counters advance independently per
+  /// group (CPE ids repeat across groups).
+  void set_fault_plan(sw::FaultPlan* plan) { faults_ = plan; }
 
   /// Attach a tracer: the accelerator reports pack/offload/unpack spans
   /// and host fallbacks (as counted "accel:host_fallback" instants) on
-  /// track \p track_name, and forwards the tracer to its core group
-  /// ("<track_name>/cg" tracks, same pid). Two accelerators on one tracer
-  /// need distinct names.
+  /// track \p track_name. When the accelerator owns its pool the tracer
+  /// is forwarded to it ("<track_name>/cg:<i>" tracks, pid \p pid + i);
+  /// an externally bound pool keeps whatever tracer its owner attached.
+  /// Two accelerators on one tracer need distinct names.
   void set_tracer(obs::Tracer* t, const std::string& track_name = "accel",
                   int pid = sw::CoreGroup::kDefaultTracePid);
 
-  /// Stats of the most recent offloaded launch (empty before the first).
+  /// Stats of the most recent offloaded remap, aggregated over its
+  /// shards: counters summed, cycles/seconds the slowest shard (shards
+  /// run concurrently on distinct groups). Empty before the first.
   const sw::KernelStats& last_stats() const { return last_stats_; }
   /// Number of launches routed through this accelerator so far.
   int launches() const { return launches_; }
@@ -61,15 +91,22 @@ class PipelineAccelerator final : public homme::StepAccelerator {
 
  private:
   void degrade(homme::State& s, const std::string& why);
+  void forward_tracer();
 
   const mesh::CubedSphere& mesh_;
   homme::Dims dims_;
   std::vector<int> geom_map_;
-  sw::CoreGroup cg_;
+  std::shared_ptr<sw::CgPool> pool_;
+  std::vector<int> cgs_;
+  bool owns_pool_ = true;
+  sw::FaultPlan* faults_ = nullptr;
   sw::KernelStats last_stats_;
   int launches_ = 0;
   int fallbacks_ = 0;
   std::string last_fault_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string track_name_ = "accel";
+  int trace_pid_ = sw::CoreGroup::kDefaultTracePid;
   obs::Track* trk_ = nullptr;
 };
 

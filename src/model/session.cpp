@@ -8,6 +8,7 @@
 #include "homme/checkpoint.hpp"
 #include "homme/init.hpp"
 #include "homme/local_state.hpp"
+#include "sw/cg_pool.hpp"
 
 namespace model {
 
@@ -81,6 +82,25 @@ void SessionConfig::validate() const {
   }
   if (watchdog_s < 0.0) {
     throw ConfigError("SessionConfig: watchdog_s must be >= 0");
+  }
+  if (core_groups < 1) {
+    throw ConfigError("SessionConfig: core_groups must be >= 1");
+  }
+  if (cg_pool == nullptr && !cg_affinity.empty()) {
+    throw ConfigError("SessionConfig: cg_affinity without a cg_pool");
+  }
+  if (cg_pool != nullptr) {
+    if (cg_affinity.empty()) {
+      throw ConfigError("SessionConfig: cg_pool needs a non-empty "
+                        "cg_affinity");
+    }
+    for (int i : cg_affinity) {
+      if (i < 0 || i >= cg_pool->size()) {
+        throw ConfigError("SessionConfig: cg_affinity index " +
+                          std::to_string(i) + " outside pool of " +
+                          std::to_string(cg_pool->size()) + " core groups");
+      }
+    }
   }
 }
 
@@ -185,9 +205,31 @@ void Session::build() {
       accels_.push_back(std::make_unique<accel::PipelineAccelerator>(
           bundle_->mesh, dims_));
       accels_[0]->set_tracer(tracer_.get(), "accel");
+      if (cfg_.cg_pool != nullptr) {
+        accels_[0]->set_cg_pool(cfg_.cg_pool, cfg_.cg_affinity);
+      } else if (cfg_.core_groups > 1) {
+        accels_[0]->use_core_groups(cfg_.core_groups);
+      }
       accels_[0]->set_fault_plan(cfg_.faults);
       dycore_->attach_accelerator(accels_[0].get());
     } else {
+      // Parallel ranks are the MPE-level decomposition: with N > 1 core
+      // groups (or an engine-provided pool) all ranks share one pool and
+      // rank r's elements feed the pipeline on group affinity[r % N],
+      // contending on the shared memory controller. Ranks step on
+      // cluster threads, so sampled stream counts (and modeled cycles)
+      // follow real concurrency; results stay bit-identical.
+      std::shared_ptr<sw::CgPool> pool = cfg_.cg_pool;
+      std::vector<int> affinity = cfg_.cg_affinity;
+      if (pool == nullptr && cfg_.core_groups > 1) {
+        pool = std::make_shared<sw::CgPool>(cfg_.core_groups);
+        affinity.resize(static_cast<std::size_t>(cfg_.core_groups));
+        for (int i = 0; i < cfg_.core_groups; ++i) {
+          affinity[static_cast<std::size_t>(i)] = i;
+        }
+        pool->set_tracer(tracer_.get(), sw::CoreGroup::kDefaultTracePid,
+                         "accel");
+      }
       for (int r = 0; r < cfg_.nranks; ++r) {
         const auto& elems =
             bundle_->partition.rank_elems[static_cast<std::size_t>(r)];
@@ -195,6 +237,10 @@ void Session::build() {
             bundle_->mesh, dims_, elems));
         accels_.back()->set_tracer(tracer_.get(),
                                    "accel.r" + std::to_string(r), r);
+        if (pool != nullptr) {
+          accels_.back()->set_cg_pool(
+              pool, {affinity[static_cast<std::size_t>(r) % affinity.size()]});
+        }
         accels_.back()->set_fault_plan(cfg_.faults);
         pds_[static_cast<std::size_t>(r)]->attach_accelerator(
             accels_.back().get());
@@ -252,6 +298,13 @@ Session::Session(const Session& parent, const std::string& checkpoint_base,
     accels_.push_back(std::make_unique<accel::PipelineAccelerator>(
         bundle_->mesh, dims_));
     accels_[0]->set_tracer(tracer_.get(), "accel");
+    // The child shares the parent's pool handle (per-group locks make
+    // that safe) or builds its own private pool, exactly like build().
+    if (cfg_.cg_pool != nullptr) {
+      accels_[0]->set_cg_pool(cfg_.cg_pool, cfg_.cg_affinity);
+    } else if (cfg_.core_groups > 1) {
+      accels_[0]->use_core_groups(cfg_.core_groups);
+    }
     accels_[0]->set_fault_plan(cfg_.faults);
     dycore_->attach_accelerator(accels_[0].get());
   }

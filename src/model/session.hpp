@@ -34,6 +34,9 @@ class PipelineAccelerator;
 namespace homme {
 class StateMonitor;
 }
+namespace sw {
+class CgPool;
+}
 
 namespace model {
 
@@ -88,6 +91,21 @@ struct SessionConfig {
   bool physics = false;            ///< run the column physics each step
   double physics_dt = 0.0;         ///< s; 0: same as the dynamics dt
 
+  // -- accelerator core groups ----------------------------------------------
+  /// Core groups the pipeline backend runs on. Sequential sessions shard
+  /// each remap's elements across a private pool of this many groups
+  /// (deterministic modeled contention, bit-identical results); parallel
+  /// sessions build one shared pool and pin rank r to group r % N — the
+  /// MPE-level decomposition feeding per-CG pipelines. Ignored on the
+  /// host backend (analytic benches accept --core-groups uniformly).
+  int core_groups = 1;
+  /// Externally owned pool (svc::Engine placement): the session's
+  /// accelerators run on groups \ref cg_affinity of this pool instead of
+  /// a private one, contending with the pool's other tenants. Overrides
+  /// core_groups when set.
+  std::shared_ptr<sw::CgPool> cg_pool;
+  std::vector<int> cg_affinity;
+
   // -- resilience -----------------------------------------------------------
   sw::FaultPlan* faults = nullptr;  ///< injected kernel/message faults
   int checkpoint_freq = 0;          ///< steps; 0 disables the cadence
@@ -126,6 +144,12 @@ struct SessionConfig {
     watchdog_s = seconds; return *this;
   }
   SessionConfig& with_backend(Backend v) { backend = v; return *this; }
+  SessionConfig& with_core_groups(int v) { core_groups = v; return *this; }
+  SessionConfig& with_cg_pool(std::shared_ptr<sw::CgPool> pool,
+                              std::vector<int> affinity) {
+    cg_pool = std::move(pool); cg_affinity = std::move(affinity);
+    return *this;
+  }
   SessionConfig& with_physics(bool v = true, double dt_s = 0.0) {
     physics = v; physics_dt = dt_s; return *this;
   }

@@ -38,6 +38,16 @@ struct ElementCost {
   double flops = 0.0;          ///< retired DP flops per element per step
 };
 
+/// One point of the multi-core-group contention curve, measured on the
+/// simulator at calibration time: kernel slowdown and achieved per-CG DMA
+/// bandwidth with \p active_cgs groups streaming through one shared
+/// memory controller.
+struct ContentionPoint {
+  int active_cgs = 1;
+  double slowdown = 1.0;        ///< kernel-time inflation vs. a lone group
+  double per_cg_gbytes_s = 0.0; ///< achieved DMA bandwidth of one group
+};
+
 struct MachineModel {
   ElementCost cost[3];           ///< indexed by Version
   double physics_fraction = 0.9; ///< physics+rest cost relative to dynamics
@@ -46,11 +56,24 @@ struct MachineModel {
   int qsize = 25;
   net::NetworkModel network;
 
+  /// Measured multi-CG contention curve (1..active_cgs streams), and the
+  /// conditions the per-element costs were measured under. With
+  /// active_cgs > 1 every cost in cost[] already includes the measured
+  /// intra-node contention of a fully loaded processor, so the fig7/fig8
+  /// analytic scaling consumes measured — not assumed — contention.
+  std::vector<ContentionPoint> contention;
+  int active_cgs = 1;
+  double contention_slowdown = 1.0;  ///< curve value at active_cgs
+
   /// Run the Table-1 kernels on the simulator and derive the per-element
   /// step costs. \p nelem is the per-process element count used for the
-  /// calibration workset.
+  /// calibration workset. \p active_cgs is the number of sibling core
+  /// groups concurrently streaming DMA while the costs are measured
+  /// (4 = every group of a fully loaded SW26010); the realized
+  /// contention curve is measured on a CgPool, not taken from the
+  /// sw/config.hpp constants.
   static MachineModel calibrate(int nlev = 128, int qsize = 25,
-                                int nelem = 64);
+                                int nelem = 64, int active_cgs = 4);
 
   /// Dynamics time step (s) for a given horizontal resolution, following
   /// CAM-SE practice (ne30 -> 300 s, scaling like 1/ne).

@@ -18,6 +18,11 @@
 #include "model/session.hpp"
 #include "obs/report.hpp"
 #include "svc/queue.hpp"
+#include "sw/config.hpp"
+
+namespace sw {
+class CgPool;
+}
 
 /// \file engine.hpp
 /// svc::Engine — batched concurrent model runs.
@@ -143,6 +148,21 @@ struct EngineConfig {
   /// Backpressure policy when the queue is full: block the submitter
   /// (false, default) or throw QueueFull (true).
   bool reject_when_full = false;
+
+  /// Where a member with a free core group choice goes: kPack fills the
+  /// lowest-index pool (maximizing shared-controller contention per
+  /// processor, leaving whole processors idle for power-down), kSpread
+  /// picks the least-loaded pool (minimizing contention).
+  enum class Placement { kPack, kSpread };
+
+  /// Simulated SW26010 processors the engine places pipeline-backend
+  /// members onto: each pool owns core_groups_per_pool groups behind one
+  /// shared memory controller, and every placed member runs on one group
+  /// of one pool, contending with co-located members. 0 (default) keeps
+  /// the historical behavior — each member's session owns a private pool.
+  int cg_pools = 0;
+  int core_groups_per_pool = sw::kGroupsPerProcessor;
+  Placement placement = Placement::kSpread;
 };
 
 /// A snapshot of the engine's aggregate telemetry.
@@ -174,6 +194,14 @@ struct EngineStats {
   std::uint64_t state_shared_chunks = 0;  ///< slots aliased by other owners
   std::uint64_t checkpoint_saves = 0;     ///< async delta-writer saves
   std::uint64_t checkpoint_bytes = 0;     ///< bytes those saves wrote
+
+  // Core-group placement telemetry (all zero when cg_pools == 0).
+  std::uint64_t placed_members = 0;     ///< members placed onto engine pools
+  std::size_t cg_pools = 0;             ///< pools the engine owns
+  int cg_groups_busy_high_water = 0;    ///< max concurrently occupied groups
+  int cg_stream_high_water = 0;         ///< max concurrent DMA streams, any pool
+  std::uint64_t cg_contended_ops = 0;   ///< DMA descriptors issued contended
+  std::uint64_t cg_contended_bytes = 0; ///< bytes those descriptors moved
 
   double member_steps_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(member_steps) / wall_s : 0.0;
@@ -246,6 +274,17 @@ class Engine {
   void execute(Job& job, int worker);
   void notify_terminal(std::uint64_t id, RunState s);
 
+  /// One (pool, group) seat handed to a placed member.
+  struct CgSeat {
+    int pool = -1;
+    int group = -1;
+    bool valid() const { return pool >= 0; }
+  };
+  /// Pick a seat under the placement policy and bump its occupancy
+  /// (invalid seat when the engine owns no pools).
+  CgSeat acquire_seat();
+  void release_seat(const CgSeat& seat);
+
   EngineConfig cfg_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
@@ -255,6 +294,14 @@ class Engine {
 
   mutable std::mutex stats_mu_;
   EngineStats counters_;  ///< mutable fields; wall/depth filled at snapshot
+
+  // Core-group placement (immutable pool vector after construction;
+  // occupancy guarded by placement_mu_).
+  std::vector<std::shared_ptr<sw::CgPool>> pools_;
+  mutable std::mutex placement_mu_;
+  std::vector<std::vector<int>> occupancy_;  ///< members per (pool, group)
+  int groups_busy_ = 0;
+  int groups_busy_high_water_ = 0;
 
   std::mutex hook_mu_;
   std::function<void(std::uint64_t, RunState)> member_hook_;

@@ -67,4 +67,23 @@ inline constexpr double kSpawnCycles = 20000.0;
 /// Bytes in one 256-bit vector register (4 doubles).
 inline constexpr std::size_t kVectorBytes = 32;
 
+// -- shared memory-controller contention (multi core group) ------------------
+// The four core groups of one SW26010 sit behind one on-chip memory
+// system; when several CGs stream DMA concurrently the per-CG achieved
+// bandwidth degrades below kCgMemBandwidth. The model is linear in the
+// number of concurrently active DMA streams n:
+//   per-CG bytes/s   = kCgMemBandwidth / (1 + kMcContentionPerStream*(n-1))
+//   aggregate bytes/s = n * per-CG  (so 4 CGs reach ~2.6x, not 4x)
+// plus a queuing term on every descriptor's startup latency. Calibrated
+// against the STREAM-style multi-CG measurements reported for SW26010
+// (aggregate scaling well below linear); the machine model re-measures
+// the realized curve on the simulator at calibration time rather than
+// trusting these constants (perf::MachineModel::calibrate).
+
+/// Per-extra-stream fractional bandwidth loss of one DMA stream.
+inline constexpr double kMcContentionPerStream = 0.18;
+/// Extra DMA startup cycles per extra concurrently active stream
+/// (descriptor queuing at the shared controller).
+inline constexpr double kMcQueueCyclesPerStream = 40.0;
+
 }  // namespace sw

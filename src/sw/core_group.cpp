@@ -1,5 +1,7 @@
 #include "sw/core_group.hpp"
 
+#include "sw/contention.hpp"
+
 #include <cassert>
 #include <cstring>
 #include <exception>
@@ -69,8 +71,26 @@ double CoreGroup::dma_cost(Cpe& cpe, std::size_t bytes,
   if (descriptors > 1) {
     busy += static_cast<double>(descriptors - 1) * kDmaBlockCycles;
   }
+  double startup = kDmaStartupCycles;
+  if (contention_ != nullptr) {
+    // Sample the shared controller: with n active sibling streams this
+    // descriptor's bus time inflates by slowdown(n) and its startup pays
+    // the queuing term. n <= 1 adds exactly nothing (cycle-identity of a
+    // lone pooled group with a bare CoreGroup).
+    const int active = contention_->active_streams();
+    contention_->note_dma(active, bytes);
+    if (active > 1) {
+      const double queued = MemoryContention::queue_cycles(active);
+      const double inflated = busy * MemoryContention::slowdown(active);
+      cpe.ctr_.mc_contended_ops += 1;
+      cpe.ctr_.mc_stall_cycles +=
+          static_cast<std::uint64_t>(inflated - busy + queued);
+      busy = inflated;
+      startup += queued;
+    }
+  }
   mc_busy_total_ += busy;
-  return cpe.clock_ + kDmaStartupCycles + busy;
+  return cpe.clock_ + startup + busy;
 }
 
 DmaHandle Cpe::dma_get(void* ldm_dst, const void* mem_src,

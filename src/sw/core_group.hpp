@@ -27,6 +27,7 @@ namespace sw {
 
 class CoreGroup;
 class Cpe;
+class MemoryContention;
 
 /// Thrown when every live task is blocked: a register-communication or
 /// barrier deadlock in the kernel under test.
@@ -251,6 +252,15 @@ class CoreGroup {
   void set_fault_plan(FaultPlan* plan) { default_faults_ = plan; }
   FaultPlan* fault_plan() const { return default_faults_; }
 
+  /// Attach (or detach with nullptr) the shared memory-controller
+  /// contention model. Every DMA descriptor then samples the number of
+  /// concurrently active sibling streams and pays the contention cost;
+  /// with no siblings active the cost is exactly the uncontended one, so
+  /// an attached-but-alone core group stays cycle-identical to a bare
+  /// CoreGroup. CgPool attaches this for every pooled group.
+  void set_contention(MemoryContention* mc) { contention_ = mc; }
+  MemoryContention* contention() const { return contention_; }
+
   /// Hard-reset every CPE's LDM and residency ledger. A faulted launch
   /// abandons its coroutines mid-flight, so persistent-LDM state (pinned
   /// entries, allocation marks) may dangle into freed host buffers; the
@@ -305,6 +315,9 @@ class CoreGroup {
   // bus timeline would stack the 64 CPEs end-to-end).
   double mc_busy_total_ = 0.0;
   double bytes_per_cycle_ = kCgMemBandwidth / kCpeClockHz;
+  /// Shared memory-controller arbitration across sibling core groups
+  /// (nullptr: this group owns its controller's full bandwidth).
+  MemoryContention* contention_ = nullptr;
 
   std::vector<Cpe> cpes_;
   std::vector<detail::RegFifo> row_fifos_;

@@ -35,6 +35,12 @@ struct CpeCounters {
   /// Launches the accelerator driver discarded after a fault and re-ran
   /// on the host reference path (graceful degradation; see accel_driver).
   std::uint64_t host_fallbacks = 0;
+  /// DMA descriptors issued while another core group's stream was active
+  /// on the shared memory controller (sw::MemoryContention attached).
+  std::uint64_t mc_contended_ops = 0;
+  /// Extra modeled cycles those descriptors paid to contention (bandwidth
+  /// inflation + descriptor queuing), rounded to whole cycles.
+  std::uint64_t mc_stall_cycles = 0;
 
   CpeCounters& operator+=(const CpeCounters& o) {
     scalar_flops += o.scalar_flops;
@@ -48,6 +54,8 @@ struct CpeCounters {
     dma_reused_bytes += o.dma_reused_bytes;
     dma_cold_bytes += o.dma_cold_bytes;
     host_fallbacks += o.host_fallbacks;
+    mc_contended_ops += o.mc_contended_ops;
+    mc_stall_cycles += o.mc_stall_cycles;
     return *this;
   }
 
@@ -71,6 +79,8 @@ inline CpeCounters counters_delta(const CpeCounters& after,
   d.dma_reused_bytes = after.dma_reused_bytes - before.dma_reused_bytes;
   d.dma_cold_bytes = after.dma_cold_bytes - before.dma_cold_bytes;
   d.host_fallbacks = after.host_fallbacks - before.host_fallbacks;
+  d.mc_contended_ops = after.mc_contended_ops - before.mc_contended_ops;
+  d.mc_stall_cycles = after.mc_stall_cycles - before.mc_stall_cycles;
   return d;
 }
 
@@ -79,7 +89,7 @@ inline CpeCounters counters_delta(const CpeCounters& after,
 /// summary. Owns the inline array the obs::CounterList points into — keep
 /// it alive for the duration of the trace call.
 struct CounterAttachment {
-  std::array<obs::Counter, 11> items{};
+  std::array<obs::Counter, 13> items{};
   std::size_t count = 0;
   operator obs::CounterList() const {
     return obs::CounterList(items.data(), count);
@@ -106,6 +116,8 @@ inline CounterAttachment counter_attachment(const CpeCounters& c) {
   add("dma_reused_bytes", c.dma_reused_bytes);
   add("dma_cold_bytes", c.dma_cold_bytes);
   add("host_fallbacks", c.host_fallbacks);
+  add("mc_contended_ops", c.mc_contended_ops);
+  add("mc_stall_cycles", c.mc_stall_cycles);
   return a;
 }
 

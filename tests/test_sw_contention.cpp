@@ -1,0 +1,238 @@
+// Shared memory-controller contention across sibling core groups
+// (sw::MemoryContention + sw::CgPool). The contract under test:
+//
+//   - the analytic curve degrades monotonically with the active-stream
+//     count, and a lone stream pays exactly nothing;
+//   - a 1-CG pool is cycle-identical to a bare CoreGroup — attaching the
+//     arbiter must not perturb the historical single-group timing;
+//   - contended launches are deterministic: identical runs yield
+//     identical modeled cycles, counters and fault effects under one
+//     FaultPlan seed;
+//   - a FaultPlan installed on one pooled group never perturbs its
+//     siblings (no shared-plan leakage through the pool);
+//   - the arbiter is safe under true concurrency (the TSan job runs one
+//     group per thread against the shared stream counter).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sw/cg_pool.hpp"
+#include "sw/config.hpp"
+#include "sw/contention.hpp"
+#include "sw/core_group.hpp"
+#include "sw/fault.hpp"
+#include "sw/task.hpp"
+
+namespace {
+
+using sw::CgPool;
+using sw::CoreGroup;
+using sw::Cpe;
+using sw::MemoryContention;
+using sw::Task;
+
+constexpr int kWords = 32;   // doubles per DMA block
+constexpr int kBlocks = 8;   // blocks per CPE
+constexpr int kCpes = 8;     // participating CPEs per launch
+
+/// Every CPE streams kBlocks blocks out of `mem`, bumps them, streams
+/// them back — the same get/put shape the remap kernels use.
+sw::KernelStats run_dma_kernel(CoreGroup& cg, std::vector<double>& mem) {
+  return cg.run(
+      [&](Cpe& cpe) -> Task {
+        sw::LdmFrame frame(cpe.ldm());
+        auto buf = cpe.ldm().alloc<double>(kWords);
+        double* base = mem.data() + cpe.id() * kBlocks * kWords;
+        for (int b = 0; b < kBlocks; ++b) {
+          cpe.get(buf, base + b * kWords);
+          for (auto& x : buf) x += 1.0;
+          cpe.put(base + b * kWords, std::span<const double>(buf));
+        }
+        co_return;
+      },
+      kCpes);
+}
+
+std::vector<double> make_mem() {
+  std::vector<double> mem(static_cast<std::size_t>(kCpes) * kBlocks * kWords);
+  for (std::size_t i = 0; i < mem.size(); ++i)
+    mem[i] = static_cast<double>(i % 97);
+  return mem;
+}
+
+// -- the analytic curve ------------------------------------------------------
+
+TEST(MemoryContention, LoneStreamPaysExactlyNothing) {
+  EXPECT_EQ(MemoryContention::slowdown(0), 1.0);
+  EXPECT_EQ(MemoryContention::slowdown(1), 1.0);
+  EXPECT_EQ(MemoryContention::queue_cycles(0), 0.0);
+  EXPECT_EQ(MemoryContention::queue_cycles(1), 0.0);
+  EXPECT_EQ(MemoryContention::per_stream_bandwidth(1), sw::kCgMemBandwidth);
+}
+
+TEST(MemoryContention, DegradesMonotonicallyWithActiveStreams) {
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_GT(MemoryContention::slowdown(n), MemoryContention::slowdown(n - 1))
+        << "slowdown must strictly increase at n=" << n;
+    EXPECT_LT(MemoryContention::per_stream_bandwidth(n),
+              MemoryContention::per_stream_bandwidth(n - 1))
+        << "per-stream bandwidth must strictly fall at n=" << n;
+    EXPECT_GE(MemoryContention::queue_cycles(n),
+              MemoryContention::queue_cycles(n - 1));
+  }
+  // Aggregate throughput still grows with more streams (the controller is
+  // degraded, not serialized): n / slowdown(n) rises with n.
+  for (int n = 2; n <= 4; ++n) {
+    EXPECT_GT(n / MemoryContention::slowdown(n),
+              (n - 1) / MemoryContention::slowdown(n - 1));
+  }
+}
+
+TEST(MemoryContention, StreamGuardTracksActiveCountAndHighWater) {
+  MemoryContention mc;
+  EXPECT_EQ(mc.active_streams(), 0);
+  {
+    MemoryContention::StreamGuard a(mc);
+    EXPECT_EQ(mc.active_streams(), 1);
+    {
+      MemoryContention::StreamGuard b(mc);
+      EXPECT_EQ(mc.active_streams(), 2);
+    }
+    EXPECT_EQ(mc.active_streams(), 1);
+  }
+  EXPECT_EQ(mc.active_streams(), 0);
+  EXPECT_EQ(mc.stats().stream_high_water, 2);
+}
+
+// -- cycle identity of the 1-CG pool -----------------------------------------
+
+TEST(CgPool, SingleGroupPoolIsCycleIdenticalToBareCoreGroup) {
+  std::vector<double> bare_mem = make_mem();
+  CoreGroup bare;
+  const sw::KernelStats ref = run_dma_kernel(bare, bare_mem);
+
+  std::vector<double> pool_mem = make_mem();
+  CgPool pool(1);
+  auto stream = pool.stream();  // the pool's lone declared DMA stream
+  const sw::KernelStats got = run_dma_kernel(pool.group(0), pool_mem);
+
+  EXPECT_EQ(got.cycles, ref.cycles);  // exactly, not approximately
+  EXPECT_EQ(got.seconds, ref.seconds);
+  EXPECT_EQ(got.totals.mc_contended_ops, 0u);
+  EXPECT_EQ(got.totals.mc_stall_cycles, 0u);
+  EXPECT_EQ(pool_mem, bare_mem);
+  const MemoryContention::Stats mc = pool.contention().stats();
+  EXPECT_EQ(mc.contended_ops, 0u);
+  EXPECT_GT(mc.solo_ops, 0u);
+}
+
+TEST(CgPool, SiblingStreamsInflateModeledTimeDeterministically) {
+  std::vector<double> solo_mem = make_mem();
+  CgPool pool(4);
+  double solo_cycles = 0.0;
+  {
+    auto stream = pool.stream();
+    solo_cycles = run_dma_kernel(pool.group(0), solo_mem).cycles;
+  }
+
+  // Same kernel with 1..3 extra sibling streams declared: modeled time
+  // must strictly increase with each, and the data must be untouched by
+  // the timing model.
+  double prev = solo_cycles;
+  for (int extra = 1; extra <= 3; ++extra) {
+    std::vector<double> mem = make_mem();
+    std::vector<MemoryContention::StreamGuard> siblings;
+    siblings.reserve(static_cast<std::size_t>(extra) + 1);
+    for (int i = 0; i <= extra; ++i) siblings.emplace_back(pool.contention());
+    const sw::KernelStats st = run_dma_kernel(pool.group(0), mem);
+    EXPECT_GT(st.cycles, prev) << "extra=" << extra;
+    EXPECT_GT(st.totals.mc_contended_ops, 0u);
+    EXPECT_GT(st.totals.mc_stall_cycles, 0u);
+    EXPECT_EQ(mem, solo_mem);
+    prev = st.cycles;
+  }
+
+  // Determinism: replaying the most contended point reproduces it exactly.
+  std::vector<double> mem = make_mem();
+  std::vector<MemoryContention::StreamGuard> siblings;
+  for (int i = 0; i < 4; ++i) siblings.emplace_back(pool.contention());
+  const sw::KernelStats again = run_dma_kernel(pool.group(0), mem);
+  EXPECT_EQ(again.cycles, prev);
+}
+
+// -- fault isolation across pooled groups ------------------------------------
+
+TEST(CgPool, FaultPlanOnOneGroupNeverPerturbsSiblings) {
+  // Reference: what group 1 produces with no fault plan anywhere.
+  std::vector<double> ref_mem = make_mem();
+  double ref_cycles = 0.0;
+  {
+    CgPool clean(2);
+    ref_cycles = run_dma_kernel(clean.group(1), ref_mem).cycles;
+  }
+
+  CgPool pool(2);
+  sw::FaultPlan plan(/*seed=*/7);
+  plan.inject({sw::FaultKind::kDmaFail, /*target=*/2, /*op_index=*/1});
+  {
+    auto lk = pool.lock(0);
+    pool.group(0).set_fault_plan(&plan);
+  }
+
+  std::vector<double> bad_mem = make_mem();
+  EXPECT_THROW(run_dma_kernel(pool.group(0), bad_mem), sw::KernelFault);
+  EXPECT_EQ(plan.fired_count(), 1u);
+
+  // The sibling group sees neither the plan nor any timing residue.
+  std::vector<double> sib_mem = make_mem();
+  const sw::KernelStats sib = run_dma_kernel(pool.group(1), sib_mem);
+  EXPECT_EQ(sib.cycles, ref_cycles);
+  EXPECT_EQ(sib_mem, ref_mem);
+  EXPECT_EQ(pool.group(1).fault_plan(), nullptr);
+
+  // Determinism under the seed: an identically seeded plan on a fresh
+  // pool fires at the identical descriptor.
+  CgPool replay(2);
+  sw::FaultPlan plan2(/*seed=*/7);
+  plan2.inject({sw::FaultKind::kDmaFail, /*target=*/2, /*op_index=*/1});
+  replay.group(0).set_fault_plan(&plan2);
+  std::vector<double> replay_mem = make_mem();
+  EXPECT_THROW(run_dma_kernel(replay.group(0), replay_mem), sw::KernelFault);
+  ASSERT_EQ(plan2.fired_count(), 1u);
+  EXPECT_EQ(plan2.fired()[0].target, plan.fired()[0].target);
+  EXPECT_EQ(replay_mem, bad_mem);
+}
+
+// -- concurrency (the TSan target) -------------------------------------------
+
+TEST(CgPool, ConcurrentGroupsShareTheArbiterSafely) {
+  constexpr int kGroups = 4;
+  CgPool pool(kGroups);
+  std::vector<std::vector<double>> mems;
+  for (int i = 0; i < kGroups; ++i) mems.push_back(make_mem());
+
+  std::vector<std::thread> threads;
+  threads.reserve(kGroups);
+  for (int i = 0; i < kGroups; ++i) {
+    threads.emplace_back([&pool, &mems, i] {
+      auto lk = pool.lock(i);
+      auto stream = pool.stream();
+      run_dma_kernel(pool.group(i), mems[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every group ran the full kernel; results are width-independent.
+  for (int i = 1; i < kGroups; ++i) EXPECT_EQ(mems[0], mems[i]);
+  const MemoryContention::Stats mc = pool.contention().stats();
+  EXPECT_EQ(mc.contended_ops + mc.solo_ops,
+            static_cast<std::uint64_t>(kGroups) * kCpes * kBlocks * 2);
+  EXPECT_GE(mc.stream_high_water, 1);
+  EXPECT_LE(mc.stream_high_water, kGroups);
+  EXPECT_EQ(pool.contention().active_streams(), 0);
+}
+
+}  // namespace

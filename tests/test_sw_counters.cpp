@@ -25,6 +25,8 @@ sw::CpeCounters sample(std::uint64_t base) {
   c.dma_reused_bytes = base + 9;
   c.dma_cold_bytes = base + 10;
   c.host_fallbacks = base + 11;
+  c.mc_contended_ops = base + 12;
+  c.mc_stall_cycles = base + 13;
   return c;
 }
 
@@ -42,6 +44,8 @@ TEST(CpeCounters, PlusEqSumsAdditiveFields) {
   EXPECT_EQ(a.dma_reused_bytes, 109u + 1009u);
   EXPECT_EQ(a.dma_cold_bytes, 110u + 1010u);
   EXPECT_EQ(a.host_fallbacks, 111u + 1011u);
+  EXPECT_EQ(a.mc_contended_ops, 112u + 1012u);
+  EXPECT_EQ(a.mc_stall_cycles, 113u + 1013u);
 }
 
 TEST(CpeCounters, PlusEqKeepsLdmPeakMax) {
@@ -97,7 +101,7 @@ TEST(CounterAttachment, CarriesEveryFieldByName) {
   const sw::CpeCounters c = sample(1000);
   const sw::CounterAttachment a = sw::counter_attachment(c);
   const obs::CounterList list = a;
-  ASSERT_EQ(list.size(), 11u);
+  ASSERT_EQ(list.size(), 13u);
   auto find = [&](const char* name) -> std::uint64_t {
     for (const obs::Counter& ctr : list) {
       if (std::strcmp(ctr.name, name) == 0) return ctr.value;
@@ -116,6 +120,8 @@ TEST(CounterAttachment, CarriesEveryFieldByName) {
   EXPECT_EQ(find("dma_reused_bytes"), c.dma_reused_bytes);
   EXPECT_EQ(find("dma_cold_bytes"), c.dma_cold_bytes);
   EXPECT_EQ(find("host_fallbacks"), c.host_fallbacks);
+  EXPECT_EQ(find("mc_contended_ops"), c.mc_contended_ops);
+  EXPECT_EQ(find("mc_stall_cycles"), c.mc_stall_cycles);
 }
 
 TEST(CounterAttachment, SummaryDeltaIsolatesOneSpan) {

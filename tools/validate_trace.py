@@ -9,6 +9,9 @@ Checks, beyond plain JSON validity:
     negative and ends at zero (the exporter must have skipped orphan ends)
   - instant events carry the scope field "s"
   - counter args, when present, are an object of numbers
+  - process_name/thread_name metadata labels are non-empty and drawn from
+    the exporter's charset; pooled core-group tracks ("accel/cg:0",
+    "cg:3/cpe17", ...) are valid track labels
 
 With --report, the arguments that follow are validated as obs::Report
 documents instead: a JSON object with a "bench" string and a "config"
@@ -26,8 +29,16 @@ Usage: validate_trace.py [--report] <file.json> [<file.json> ...]
 import json
 import sys
 
+import re
+
 ALLOWED_PH = {"B", "E", "X", "i", "C", "M"}
 TIMED_PH = {"B", "E", "X", "i"}
+
+# Track labels the obs:: exporter emits: span names plus the structured
+# per-core-group forms "cg", "cg:<i>", "<prefix>/cg:<i>" and the fine
+# per-CPE "<track>/cpe<i>". The colon is load-bearing — sw::CgPool labels
+# pooled groups "cg:0".."cg:3" under one prefix.
+TRACK_LABEL = re.compile(r"^[A-Za-z0-9_.:/\- ]+$")
 
 
 def fail(path, msg):
@@ -74,6 +85,11 @@ def validate(path):
         if "args" in e:
             if not isinstance(e["args"], dict):
                 return fail(path, f"{where}: args must be an object")
+            if ph == "M" and e["name"] in ("process_name", "thread_name"):
+                label = e["args"].get("name")
+                if not isinstance(label, str) or not TRACK_LABEL.match(label):
+                    return fail(
+                        path, f"{where}: bad track label {label!r}")
             if ph != "M":
                 for k, v in e["args"].items():
                     if not isinstance(v, (int, float)):
@@ -111,6 +127,13 @@ REQUIRED_ROOT_FIELDS = {
         "digest_mismatches",
         "leaked_members",
         "snapshot_count",
+    ),
+    "multicg": (
+        "digest_mismatches",
+        "placement_digest_mismatches",
+        "max_core_groups",
+        "speedup_max_cgs",
+        "contention_slowdown_max",
     ),
 }
 
