@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/report.hpp"
+#include "scenario/registry.hpp"
 
 /// \file bench_common.hpp
 /// The one bench CLI parser. Every bench used to hand-roll (or skip) the
@@ -21,14 +22,21 @@
 ///   --members <n>    ensemble member count
 ///   --latency-us <n> modeled per-step coupler/ingest stall, microseconds
 ///   --ckpt-interval <k> full checkpoint image every k saves (deltas between)
-///   --core-groups <n> core groups per processor/pool (multi-CG benches)
+///   --core-groups <n> core groups per processor/pool. Every bench accepts
+///                    it uniformly; it only affects pipeline-backend runs —
+///                    host-backend (and analytic) benches parse and ignore
+///                    it, so one CI matrix drives all binaries.
+///   --scenario <name> run the named scenario:: registry workload
+///                    (strict: an unknown name exits 2 with the known list)
+///   --list-scenarios  print the registered workload table and exit 0
 ///
 /// Parsing is strict: every value is read with strtol and must be a
 /// complete decimal integer within [min, 1e9] — a missing, non-numeric,
 /// trailing-junk or below-minimum value aborts with a message on stderr
-/// (exit 2). The unset sentinel is -1 everywhere, and every _or accessor
-/// tests `>= 0`, so an explicit "--steps 0" really means zero steps
-/// rather than "use the default".
+/// (exit 2). String flags are validated the same way (--scenario must
+/// name a registered workload). The unset sentinel is -1 everywhere, and
+/// every _or accessor tests `>= 0`, so an explicit "--steps 0" really
+/// means zero steps rather than "use the default".
 
 namespace bench {
 
@@ -43,6 +51,7 @@ struct BenchOptions {
   int latency_us = -1;     ///< --latency-us; -1 = bench default
   int ckpt_interval = -1;  ///< --ckpt-interval; -1 = bench default
   int core_groups = -1;    ///< --core-groups; -1 = bench default
+  std::string scenario;    ///< --scenario; empty = bench default
 
   int steps_or(int fallback) const { return steps >= 0 ? steps : fallback; }
   int ne_or(int fallback) const { return ne >= 0 ? ne : fallback; }
@@ -61,6 +70,40 @@ struct BenchOptions {
   int core_groups_or(int fallback) const {
     return core_groups >= 0 ? core_groups : fallback;
   }
+  std::string scenario_or(const char* fallback) const {
+    return scenario.empty() ? fallback : scenario;
+  }
+
+  /// The shared flags, one line each — printed on --list-scenarios
+  /// misuse and kept in sync with the doc comment above.
+  static const char* usage() {
+    return
+        "shared bench flags:\n"
+        "  --json <path>       machine-readable obs::Report\n"
+        "  --trace <path>      Chrome trace-event timeline\n"
+        "  --small             reduced problem size (CI smoke)\n"
+        "  --steps <n>         override the bench's step count\n"
+        "  --ne <n>            override the bench's mesh resolution\n"
+        "  --workers <n>       engine worker-pool size (ensemble benches)\n"
+        "  --members <n>       ensemble member count\n"
+        "  --latency-us <n>    modeled per-step coupler stall, microseconds\n"
+        "  --ckpt-interval <k> full checkpoint every k saves\n"
+        "  --core-groups <n>   core groups per processor/pool; accepted by\n"
+        "                      every bench, only affects pipeline-backend\n"
+        "                      runs (host-backend benches parse + ignore)\n"
+        "  --scenario <name>   run the named scenario:: registry workload\n"
+        "  --list-scenarios    print the registered workloads and exit\n";
+  }
+
+  /// Print the registry as a table (what --list-scenarios shows).
+  static void print_scenarios(std::FILE* out) {
+    std::fprintf(out, "%-22s %-11s %s\n", "name", "kind", "title");
+    for (const auto& name : scenario::names()) {
+      const scenario::Scenario& sc = scenario::get(name);
+      std::fprintf(out, "%-22s %-11s %s\n", sc.name.c_str(), sc.kind.c_str(),
+                   sc.title.c_str());
+    }
+  }
 
   /// Extract (and remove) the shared flags so benchmark::Initialize only
   /// sees what it understands.
@@ -72,8 +115,13 @@ struct BenchOptions {
     opts.small = cli.small;
 
     auto die = [](const char* flag, const char* what, const char* got) {
-      std::fprintf(stderr, "bench: %s %s (got \"%s\")\n", flag, what, got);
+      std::fprintf(stderr, "bench: %s %s (got \"%s\")\n%s", flag, what, got,
+                   usage());
       std::exit(2);
+    };
+    auto drop = [&](int i, int n) {
+      for (int j = i; j + n < argc; ++j) argv[j] = argv[j + n];
+      argc -= n;
     };
     auto take_int = [&](const char* flag, int& out, long min_value) {
       for (int i = 1; i < argc; ++i) {
@@ -90,8 +138,7 @@ struct BenchOptions {
           die(flag, "value out of range", text);
         }
         out = static_cast<int>(v);
-        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-        argc -= 2;
+        drop(i, 2);
         return;
       }
     };
@@ -102,6 +149,30 @@ struct BenchOptions {
     take_int("--latency-us", opts.latency_us, 0);
     take_int("--ckpt-interval", opts.ckpt_interval, 1);
     take_int("--core-groups", opts.core_groups, 1);
+
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--list-scenarios") != 0) continue;
+      print_scenarios(stdout);
+      std::exit(0);
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--scenario") != 0) continue;
+      if (i + 1 >= argc) die("--scenario", "requires a value", "");
+      const char* name = argv[i + 1];
+      if (scenario::find(name) == nullptr) {
+        std::string known;
+        for (const auto& n : scenario::names()) {
+          known += known.empty() ? n : ", " + n;
+        }
+        std::fprintf(stderr, "bench: --scenario names an unknown workload "
+                             "(got \"%s\"; known: %s)\n%s",
+                     name, known.c_str(), usage());
+        std::exit(2);
+      }
+      opts.scenario = name;
+      drop(i, 2);
+      break;
+    }
     return opts;
   }
 };

@@ -2,6 +2,10 @@
 // validation. Control run vs test run (perturbed at the measured
 // cross-platform floating-point reassociation magnitude): the two
 // climatologies must be statistically identical.
+//
+// Both runs are members of the "fig4-validation" scenario (member 0
+// control, member 1 perturbed) driven through model::Session; pass
+// --scenario to point the harness at another validation-kind workload.
 
 #include <benchmark/benchmark.h>
 
@@ -9,17 +13,26 @@
 
 #include <cstdio>
 
-#include "validation/climatology.hpp"
+#include "scenario/experiments.hpp"
 
 namespace {
 
-void print_figure() {
-  validation::ClimatologyConfig cfg;
-  cfg.ne = 4;
-  cfg.nlev = 8;
-  cfg.steps = 80;
-  cfg.spinup = 20;
-  const auto stats = validation::climatology_compare(cfg);
+void print_figure(const bench::BenchOptions& opts) {
+  const scenario::Scenario& sc =
+      scenario::get(opts.scenario_or("fig4-validation"));
+  scenario::ClimatologyConfig cfg;
+  cfg.ne = opts.ne_or(sc.defaults.ne);
+  cfg.nlev = sc.defaults.nlev;
+  cfg.steps = opts.steps_or(static_cast<int>(sc.param("steps", 80.0)));
+  cfg.spinup = static_cast<int>(sc.param("spinup", 20.0));
+  cfg.perturbation = sc.param("perturb", 1e-9);
+  if (opts.small) {
+    cfg.ne = 2;
+    cfg.nlev = 6;
+    cfg.steps = 20;
+    cfg.spinup = 5;
+  }
+  const auto stats = scenario::climatology_compare(cfg);
   std::printf("\n=== Figure 4: climatological surface temperature, control "
               "(reference order) vs test (Sunway-port order) ===\n");
   std::printf("mean surface T  control: %9.4f K   test: %9.4f K\n",
@@ -32,13 +45,13 @@ void print_figure() {
 }
 
 void BM_ClimatologyRun(benchmark::State& state) {
-  validation::ClimatologyConfig cfg;
+  scenario::ClimatologyConfig cfg;
   cfg.ne = 2;
   cfg.nlev = 6;
   cfg.steps = 20;
   cfg.spinup = 5;
   for (auto _ : state) {
-    auto stats = validation::climatology_compare(cfg);
+    auto stats = scenario::climatology_compare(cfg);
     benchmark::DoNotOptimize(stats.rmse);
   }
 }
@@ -47,10 +60,8 @@ BENCHMARK(BM_ClimatologyRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Accept the shared bench flags uniformly; nothing here is
-  // size-dependent yet, but the flags must not reach gbench.
-  (void)bench::BenchOptions::parse(argc, argv);
-  print_figure();
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  print_figure(opts);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,31 +3,33 @@
 // ("ne120") resolution analog (same 4x ratio, downsized meshes); the
 // fine run must capture track and intensity, the coarse run loses the
 // storm — the paper's panels (a)-(d).
+//
+// The whole experiment is the "katrina" scenario of the scenario::
+// registry driven through model::Session — run `--list-scenarios` for
+// the menu, `--scenario <name>` to point this harness at any registered
+// storm-kind workload.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "tc/katrina.hpp"
+#include "obs/report.hpp"
+#include "scenario/experiments.hpp"
 
 namespace {
 
-void print_run(const tc::KatrinaRun& run, const tc::TcParams& vortex) {
+void print_run(const scenario::KatrinaRun& run) {
   std::printf("--- ne%d ---\n", run.ne);
   std::printf("%6s %9s %9s %11s %9s %12s\n", "hour", "lat", "lon", "min ps",
               "MSW", "ref-dist km");
   for (std::size_t i = 0; i < run.track.fixes.size(); ++i) {
     const auto& f = run.track.fixes[i];
-    double rlat, rlon;
-    tc::reference_center(vortex, run.track.hours[i] * 3600.0,
-                         mesh::kEarthRadius, rlat, rlon);
     std::printf("%6.1f %9.4f %9.4f %11.0f %9.1f %12.0f\n", run.track.hours[i],
-                f.lat, f.lon, f.min_ps, f.msw,
-                tc::great_circle(f.lat, f.lon, rlat, rlon,
-                                 mesh::kEarthRadius) /
-                    1000.0);
+                f.lat, f.lon, f.min_ps, f.msw, run.ref_dist_km[i]);
   }
   std::printf("mean track error %.0f km | intensity retention %.2f | deepest "
               "ps %.0f Pa\n\n",
@@ -35,18 +37,28 @@ void print_run(const tc::KatrinaRun& run, const tc::TcParams& vortex) {
               run.deepest_ps);
 }
 
-void print_figure() {
-  tc::KatrinaConfig cfg;
-  cfg.ne_coarse = 3;
-  cfg.ne_fine = 12;
-  cfg.nlev = 8;
+scenario::KatrinaConfig figure_config(const bench::BenchOptions& opts) {
+  const scenario::Scenario& sc = scenario::get(opts.scenario_or("katrina"));
+  scenario::KatrinaConfig cfg;
+  cfg.ne_coarse = static_cast<int>(sc.param("ne_coarse", 3.0));
+  cfg.ne_fine = opts.ne_or(sc.defaults.ne);
+  cfg.nlev = sc.defaults.nlev;
   cfg.hours = 9.0;
   cfg.n_outputs = 6;
-  const auto result = tc::run_katrina(cfg);
+  if (opts.small) {
+    cfg.ne_fine = std::min(cfg.ne_fine, 6);
+    cfg.hours = 3.0;
+    cfg.n_outputs = 3;
+  }
+  return cfg;
+}
+
+scenario::KatrinaResult run_figure(const scenario::KatrinaConfig& cfg) {
+  const auto result = scenario::run_katrina(cfg);
   std::printf("\n=== Figure 9: synthetic Katrina lifecycle, coarse vs fine "
               "===\n\n");
-  print_run(result.coarse, cfg.vortex);
-  print_run(result.fine, cfg.vortex);
+  print_run(result.coarse);
+  print_run(result.fine);
   std::printf(
       "paper: ne30 (100 km) failed to simulate the hurricane; ne120 (25 km) "
       "produced a close-to-observation track and intensity.\n"
@@ -58,16 +70,42 @@ void print_figure() {
       result.coarse.mean_track_error_km /
           std::max(1.0, result.fine.mean_track_error_km),
       result.fine.deepest_ps, result.coarse.deepest_ps);
+  return result;
+}
+
+bool write_json(const std::string& path, const bench::BenchOptions& opts,
+                const scenario::KatrinaConfig& cfg,
+                const scenario::KatrinaResult& result) {
+  obs::Report rep("fig9_katrina");
+  rep.config()
+      .set("scenario", opts.scenario_or("katrina"))
+      .set("ne_coarse", cfg.ne_coarse)
+      .set("ne_fine", cfg.ne_fine)
+      .set("nlev", cfg.nlev)
+      .set("hours", cfg.hours)
+      .set("n_outputs", cfg.n_outputs)
+      .set("small", opts.small);
+  rep.root()
+      .set("fine_track_error_km", result.fine.mean_track_error_km)
+      .set("coarse_track_error_km", result.coarse.mean_track_error_km)
+      .set("fine_deepest_ps", result.fine.deepest_ps)
+      .set("coarse_deepest_ps", result.coarse.deepest_ps)
+      .set("fine_intensity_retention", result.fine.intensity_retention)
+      .set("fine_state_crc",
+           static_cast<std::uint64_t>(result.fine.state_crc))
+      .set("coarse_state_crc",
+           static_cast<std::uint64_t>(result.coarse.state_crc));
+  return rep.write(path);
 }
 
 void BM_KatrinaStep(benchmark::State& state) {
   // Cost of one fine-mesh model step (dynamics + physics).
-  tc::KatrinaConfig cfg;
+  scenario::KatrinaConfig cfg;
   cfg.nlev = 8;
   cfg.hours = 0.2;
   cfg.n_outputs = 1;
   for (auto _ : state) {
-    auto run = tc::run_katrina_at(8, cfg);
+    auto run = scenario::run_katrina_at(8, cfg);
     benchmark::DoNotOptimize(run.deepest_ps);
   }
 }
@@ -76,10 +114,21 @@ BENCHMARK(BM_KatrinaStep)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Accept the shared bench flags uniformly; nothing here is
-  // size-dependent yet, but the flags must not reach gbench.
-  (void)bench::BenchOptions::parse(argc, argv);
-  print_figure();
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  const scenario::Scenario& sc = scenario::get(opts.scenario_or("katrina"));
+  if (sc.kind != "storm") {
+    std::fprintf(stderr,
+                 "bench_fig9_katrina: scenario \"%s\" is kind \"%s\", needs "
+                 "a storm-kind workload\n",
+                 sc.name.c_str(), sc.kind.c_str());
+    return 2;
+  }
+  const scenario::KatrinaConfig cfg = figure_config(opts);
+  const scenario::KatrinaResult result = run_figure(cfg);
+  if (!opts.json_path.empty() &&
+      !write_json(opts.json_path, opts, cfg, result)) {
+    return 1;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

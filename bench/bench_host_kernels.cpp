@@ -29,12 +29,12 @@
 #include <vector>
 
 #include "homme/driver.hpp"
-#include "homme/init.hpp"
 #include "homme/ref_kernels.hpp"
 #include "homme/remap.hpp"
 #include "homme/rhs.hpp"
 #include "homme/vpack.hpp"
 #include "obs/report.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 
@@ -100,8 +100,9 @@ std::vector<Row> run_rows() {
   d.moist = true;
   const std::size_t fs = d.field_size();
   const std::size_t points = static_cast<std::size_t>(m.nelem()) * fs;
-  auto s = homme::solid_body_rotation(m, d, 40.0);
-  homme::init_tracers(m, d, s);
+  // The workset IC comes from the registry: solid-body rotation at the
+  // "tracer-advection" scenario's u0, tracers filled in (d.qsize = 2).
+  auto s = scenario::initial_state(scenario::get("tracer-advection"), m, d);
   const double dt = homme::Dycore::stable_dt(m);
 
   std::vector<Row> rows;

@@ -4,6 +4,10 @@
 // per-column costs measured from the mini implementations on this host,
 // composed with the TaihuLight network model, normalized at the HOMME
 // 12.5 km anchor.
+//
+// The column shape (vertical levels) comes from the "nggps" scenario of
+// the scenario:: registry; pass --scenario to re-anchor the measurement
+// on another registered workload's shape.
 
 // Pass --json <path> for a machine-readable record of every table row.
 
@@ -16,18 +20,24 @@
 
 #include "baselines/nggps.hpp"
 #include "obs/report.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 
+std::string g_scenario = "nggps";
+
 const std::vector<baselines::NggpsRow>& rows() {
   static const auto r = [] {
-    return baselines::run_nggps(baselines::measure_dycore_costs());
+    const scenario::Scenario& sc = scenario::get(g_scenario);
+    return baselines::run_nggps(
+        baselines::measure_dycore_costs(sc.defaults.nlev));
   }();
   return r;
 }
 
 bool write_json(const std::string& path) {
   obs::Report rep("table3_nggps");
+  rep.config().set("scenario", g_scenario);
   obs::Json& records = rep.root().arr("records");
   for (const auto& r : rows()) {
     records.push()
@@ -70,6 +80,7 @@ void register_benchmarks() {
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  g_scenario = opts.scenario_or("nggps");
   print_table();
   if (!opts.json_path.empty() && !write_json(opts.json_path)) return 1;
   register_benchmarks();

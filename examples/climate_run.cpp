@@ -3,16 +3,18 @@
 // the model's self-describing binary format and a restart file at the
 // end — the whole-application-with-I/O configuration the paper times.
 //
+// The workload is the "aquaplanet" entry of the scenario:: registry; this
+// example only overrides the resolution and drives the history/restart
+// I/O around the returned model::Session.
+//
 //   ./climate_run [ne] [nlev] [days] [output_dir]
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "homme/driver.hpp"
-#include "homme/init.hpp"
 #include "io/model_io.hpp"
-#include "physics/driver.hpp"
+#include "scenario/registry.hpp"
 
 int main(int argc, char** argv) {
   const int ne = argc > 1 ? std::atoi(argv[1]) : 4;
@@ -20,41 +22,30 @@ int main(int argc, char** argv) {
   const double days = argc > 3 ? std::atof(argv[3]) : 0.5;
   const std::string outdir = argc > 4 ? argv[4] : "/tmp";
 
-  auto mesh = mesh::CubedSphere::build(ne, mesh::kEarthRadius);
-  homme::Dims dims;
-  dims.nlev = nlev;
-  dims.qsize = 1;
+  scenario::Overrides ov;
+  ov.ne = ne;
+  ov.nlev = nlev;
+  auto session = scenario::get("aquaplanet").session(ov);
+  const homme::Dims& dims = session->dims();
 
-  auto state = homme::baroclinic(mesh, dims, 25.0, 290.0, 4.0);
-  for (auto& es : state) {  // moist boundary layer
-    auto q = es.q_mut(0, dims);
-    for (int lev = 0; lev < dims.nlev; ++lev) {
-      const double sigma = (lev + 0.5) / dims.nlev;
-      for (int k = 0; k < mesh::kNpp; ++k) {
-        q[homme::fidx(lev, k)] =
-            0.012 * sigma * sigma * sigma * es.dp[homme::fidx(lev, k)];
-      }
-    }
-  }
-
-  homme::Dycore dycore(mesh, dims, homme::DycoreConfig{});
-  phys::PhysicsDriver physics(mesh, dims, phys::PhysicsConfig{});
-
-  const int steps = std::max(1, static_cast<int>(days * 86400.0 / dycore.dt()));
+  const int steps =
+      std::max(1, static_cast<int>(days * 86400.0 / session->dt()));
   const int out_every = std::max(1, steps / 4);
   std::printf("ne%d, %d levels, %d steps of %.0f s (%.2f simulated days), "
               "history to %s\n",
-              ne, nlev, steps, dycore.dt(), days, outdir.c_str());
+              ne, nlev, steps, session->dt(), days, outdir.c_str());
 
   int snapshot = 0;
   for (int s = 1; s <= steps; ++s) {
-    dycore.step(state);
-    auto pstats = physics.step(state, dycore.dt());
+    session->step();
+    const auto& pstats = session->physics_stats();
     if (s % out_every == 0 || s == steps) {
+      const homme::State state = session->state();
       io::HistoryWriter hist(ne, nlev, dims.qsize);
       hist.add_surface_diagnostics(dims, state);
       hist.add(io::Field{"olr",
-                         {static_cast<std::int64_t>(mesh.nelem()), 16},
+                         {static_cast<std::int64_t>(session->mesh().nelem()),
+                          16},
                          pstats.olr_field});
       const std::string path =
           outdir + "/swcam_history_" + std::to_string(snapshot++) + ".bin";
@@ -62,7 +53,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());
         return 1;
       }
-      const auto diag = dycore.diagnose(state);
+      const auto diag = session->diagnose();
       std::printf("step %5d: wrote %s  (mean OLR %.1f W/m2, max|u| %.1f, "
                   "mass drift 0)\n",
                   s, path.c_str(), pstats.mean_olr, diag.max_wind);
@@ -70,7 +61,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string restart = outdir + "/swcam_restart.bin";
-  if (!io::write_restart(restart, dims, state)) {
+  if (!io::write_restart(restart, dims, session->state())) {
     std::fprintf(stderr, "failed to write restart\n");
     return 1;
   }

@@ -35,7 +35,7 @@ double best_of(int trials, F&& body) {
 
 }  // namespace
 
-DycoreCosts measure_dycore_costs() {
+DycoreCosts measure_dycore_costs(int nlev) {
   DycoreCosts c;
 
   // All three are measured on the same host, so their *ratios* carry the
@@ -53,7 +53,7 @@ DycoreCosts measure_dycore_costs() {
   // HOMME (spectral element): the RHS kernel over a packed workset.
   {
     homme::Dims d;
-    d.nlev = 16;
+    d.nlev = nlev;
     d.qsize = 0;
     auto m = mesh::CubedSphere::build(2, mesh::kEarthRadius);
     auto p = accel::PackedElems::synthetic(m, d, 24);

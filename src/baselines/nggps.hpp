@@ -36,7 +36,9 @@ struct DycoreCosts {
 };
 
 /// Measure the per-column costs by running each mini on the host.
-DycoreCosts measure_dycore_costs();
+/// \p nlev sets the HOMME mini's vertical levels (the Table 3 runs use
+/// the "nggps" scenario's default of 16).
+DycoreCosts measure_dycore_costs(int nlev = 16);
 
 /// Produce the six Table 3 rows.
 std::vector<NggpsRow> run_nggps(const DycoreCosts& costs);

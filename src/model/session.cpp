@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <mutex>
+#include <span>
 #include <utility>
 
 #include "accel/accel_driver.hpp"
@@ -62,6 +63,16 @@ void SessionConfig::validate() const {
   if (physics_dt < 0.0) {
     throw ConfigError("SessionConfig: physics_dt must be >= 0");
   }
+  if (!init_spec.name.empty() && !init_spec.engaged()) {
+    throw ConfigError("SessionConfig: init_spec \"" + init_spec.name +
+                      "\" names an IC but has no generator");
+  }
+  if (init_spec.member < 0) {
+    throw ConfigError("SessionConfig: init_spec.member must be >= 0");
+  }
+  if (init_spec.perturb < 0.0) {
+    throw ConfigError("SessionConfig: init_spec.perturb must be >= 0");
+  }
   if (checkpoint_freq < 0) {
     throw ConfigError("SessionConfig: checkpoint_freq must be >= 0");
   }
@@ -102,6 +113,27 @@ void SessionConfig::validate() const {
       }
     }
   }
+}
+
+// -- state digest ------------------------------------------------------------
+
+std::uint32_t state_digest(const homme::State& state, int step_count) {
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(state.size() * 6 + 2);
+  auto add = [&crcs](std::span<const double> v) {
+    crcs.push_back(homme::crc32(v.data(), v.size() * sizeof(double)));
+  };
+  for (const auto& e : state) {
+    add(e.u1.span());
+    add(e.u2.span());
+    add(e.T.span());
+    add(e.dp.span());
+    add(e.qdp.span());
+    add(e.phis.span());
+  }
+  crcs.push_back(static_cast<std::uint32_t>(state.size()));
+  crcs.push_back(static_cast<std::uint32_t>(step_count));
+  return homme::crc32(crcs.data(), crcs.size() * sizeof(std::uint32_t));
 }
 
 // -- MeshBundle --------------------------------------------------------------
@@ -161,21 +193,30 @@ void Session::build() {
   tracer_ = std::make_unique<obs::Tracer>(cfg_.trace_domain);
   tracer_->enable(cfg_.trace);
 
-  // Initial condition on the global mesh.
+  // Initial condition on the global mesh. An engaged InitSpec (the
+  // scenario:: path — vortex seeds, perturbed ensemble members) replaces
+  // the builtin enum wholesale, tracer fill included.
   homme::State global;
-  switch (cfg_.init) {
-    case SessionConfig::Init::kBaroclinic:
-      global = homme::baroclinic(bundle_->mesh, dims_);
-      break;
-    case SessionConfig::Init::kSolidBody:
-      global = homme::solid_body_rotation(bundle_->mesh, dims_);
-      break;
-    case SessionConfig::Init::kIsothermalRest:
-      global = homme::isothermal_rest(bundle_->mesh, dims_);
-      break;
-  }
-  if (cfg_.init_tracers && cfg_.qsize > 0) {
-    homme::init_tracers(bundle_->mesh, dims_, global);
+  if (cfg_.init_spec.engaged()) {
+    global = cfg_.init_spec.generate(bundle_->mesh, dims_, cfg_.init_spec);
+    if (cfg_.init_spec.tracers && cfg_.qsize > 0) {
+      homme::init_tracers(bundle_->mesh, dims_, global);
+    }
+  } else {
+    switch (cfg_.init) {
+      case SessionConfig::Init::kBaroclinic:
+        global = homme::baroclinic(bundle_->mesh, dims_);
+        break;
+      case SessionConfig::Init::kSolidBody:
+        global = homme::solid_body_rotation(bundle_->mesh, dims_);
+        break;
+      case SessionConfig::Init::kIsothermalRest:
+        global = homme::isothermal_rest(bundle_->mesh, dims_);
+        break;
+    }
+    if (cfg_.init_tracers && cfg_.qsize > 0) {
+      homme::init_tracers(bundle_->mesh, dims_, global);
+    }
   }
 
   const homme::DycoreConfig dcfg = cfg_.dycore_config();
@@ -249,7 +290,8 @@ void Session::build() {
   }
 
   if (cfg_.physics) {
-    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_);
+    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_,
+                                                     cfg_.physics_cfg);
   }
   if (cfg_.monitor) {
     monitor_ = std::make_unique<homme::StateMonitor>(dims_);
@@ -309,7 +351,8 @@ Session::Session(const Session& parent, const std::string& checkpoint_base,
     dycore_->attach_accelerator(accels_[0].get());
   }
   if (cfg_.physics) {
-    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_);
+    physics_ = std::make_unique<phys::PhysicsDriver>(bundle_->mesh, dims_,
+                                                     cfg_.physics_cfg);
   }
   if (cfg_.monitor) {
     monitor_ = std::make_unique<homme::StateMonitor>(dims_);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -12,6 +13,7 @@
 #include "mesh/partition.hpp"
 #include "obs/trace.hpp"
 #include "physics/driver.hpp"
+#include "scenario/init_spec.hpp"
 #include "sw/fault.hpp"
 
 /// \file session.hpp
@@ -80,6 +82,11 @@ struct SessionConfig {
   // -- initial condition ----------------------------------------------------
   Init init = Init::kBaroclinic;
   bool init_tracers = true;        ///< fill tracers with the cosine bells
+  /// Typed IC: when engaged, its generator replaces the enum above and
+  /// its `tracers` flag replaces init_tracers — the path every
+  /// scenario:: workload (vortex seeds, perturbed ensembles) flows
+  /// through. Disengaged (default) keeps the enum behavior bit-exactly.
+  scenario::InitSpec init_spec;
 
   // -- decomposition / exchange --------------------------------------------
   int nranks = 1;                  ///< 1: sequential Dycore; >1: mini-MPI
@@ -90,6 +97,9 @@ struct SessionConfig {
   Backend backend = Backend::kHost;
   bool physics = false;            ///< run the column physics each step
   double physics_dt = 0.0;         ///< s; 0: same as the dynamics dt
+  /// Parameterization suite configuration (module toggles, SST closure).
+  /// The default-constructed value is the historical full suite.
+  phys::PhysicsConfig physics_cfg{};
 
   // -- accelerator core groups ----------------------------------------------
   /// Core groups the pipeline backend runs on. Sequential sessions shard
@@ -136,6 +146,9 @@ struct SessionConfig {
   SessionConfig& with_init(Init v, bool tracers = true) {
     init = v; init_tracers = tracers; return *this;
   }
+  SessionConfig& with_init(scenario::InitSpec spec) {
+    init_spec = std::move(spec); return *this;
+  }
   SessionConfig& with_ranks(int v) { nranks = v; return *this; }
   SessionConfig& with_exchange(homme::BndryExchange::Mode v) {
     exchange = v; return *this;
@@ -152,6 +165,9 @@ struct SessionConfig {
   }
   SessionConfig& with_physics(bool v = true, double dt_s = 0.0) {
     physics = v; physics_dt = dt_s; return *this;
+  }
+  SessionConfig& with_physics_config(phys::PhysicsConfig c) {
+    physics_cfg = std::move(c); return *this;
   }
   SessionConfig& with_faults(sw::FaultPlan* plan) {
     faults = plan; return *this;
@@ -177,6 +193,15 @@ struct SessionConfig {
   /// Throws ConfigError on the first unrealizable setting.
   void validate() const;
 };
+
+/// CRC32 digest of a model state — the bit-identity handle shared by the
+/// svc:: engine, the scenario:: experiment runners and the tests: equal
+/// configs must yield equal digests at any worker count. Hashes the raw
+/// field arrays, NOT a serialized checkpoint image: that format follows
+/// every block with the block's own CRC-32, and by CRC linearity a
+/// whole-stream CRC over block||crc(block) pairs cancels the block
+/// contents entirely (every image of one shape would hash alike).
+std::uint32_t state_digest(const homme::State& state, int step_count);
 
 /// The immutable per-resolution data every simulation of a (ne, nranks)
 /// shape shares: mesh topology + metric terms, SFC partition, comm plan.

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "homme/init.hpp"
+#include "homme/state.hpp"
+#include "mesh/cubed_sphere.hpp"
+
+/// \file init_spec.hpp
+/// scenario::InitSpec — an initial condition as a value.
+///
+/// model::SessionConfig historically named its IC with an enum; every
+/// non-builtin workload (the Katrina vortex, the perturbed aquaplanet)
+/// had to build its state by hand and bypass the Session facade. An
+/// InitSpec closes that gap: it bundles a generator function with the
+/// two knobs ensembles parameterize on — the member index and a
+/// scenario-interpreted perturbation magnitude — so a custom IC travels
+/// through the same validated SessionConfig path as the builtin enums.
+/// Header-only by design: model:: consumes it without linking scenario::.
+
+namespace scenario {
+
+struct InitSpec {
+  /// Build the initial global state. Receives the spec itself so that
+  /// member / perturb parameterize the IC (perturbed-IC ensembles).
+  using Generator = std::function<homme::State(
+      const mesh::CubedSphere&, const homme::Dims&, const InitSpec&)>;
+
+  std::string name;      ///< label, e.g. "baroclinic", "tc-vortex"
+  Generator generate;    ///< unset: Session falls back to the enum IC
+  bool tracers = false;  ///< fill tracers with the cosine bells afterwards
+  int member = 0;        ///< ensemble member index (perturbation seed)
+  double perturb = 0.0;  ///< perturbation magnitude; meaning is per-spec
+
+  bool engaged() const { return static_cast<bool>(generate); }
+
+  // -- builtin ICs, wrapping homme::init -------------------------------------
+  // The enum path of SessionConfig resolves to exactly these specs, so
+  // scenario ICs and raw enum ICs share one code path in Session::build.
+
+  static InitSpec baroclinic(bool with_tracers = true, double u0 = 20.0,
+                             double t0 = 300.0, double amp = 2.0,
+                             double lon0 = 0.0, double lat0 = 0.7,
+                             double width = 0.25) {
+    InitSpec s;
+    s.name = "baroclinic";
+    s.tracers = with_tracers;
+    s.generate = [u0, t0, amp, lon0, lat0, width](
+                     const mesh::CubedSphere& m, const homme::Dims& d,
+                     const InitSpec&) {
+      return homme::baroclinic(m, d, u0, t0, amp, lon0, lat0, width);
+    };
+    return s;
+  }
+
+  static InitSpec solid_body(bool with_tracers = true, double u0 = 20.0,
+                             double t0 = 300.0) {
+    InitSpec s;
+    s.name = "solid-body";
+    s.tracers = with_tracers;
+    s.generate = [u0, t0](const mesh::CubedSphere& m, const homme::Dims& d,
+                          const InitSpec&) {
+      return homme::solid_body_rotation(m, d, u0, t0);
+    };
+    return s;
+  }
+
+  static InitSpec isothermal_rest(bool with_tracers = true,
+                                  double t0 = 300.0) {
+    InitSpec s;
+    s.name = "isothermal-rest";
+    s.tracers = with_tracers;
+    s.generate = [t0](const mesh::CubedSphere& m, const homme::Dims& d,
+                      const InitSpec&) {
+      return homme::isothermal_rest(m, d, t0);
+    };
+    return s;
+  }
+};
+
+}  // namespace scenario

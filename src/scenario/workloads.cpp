@@ -1,0 +1,267 @@
+#include <cmath>
+
+#include "model/session.hpp"
+#include "physics/held_suarez.hpp"
+#include "scenario/experiments.hpp"
+#include "scenario/registry.hpp"
+#include "tc/tracker.hpp"
+#include "tc/vortex.hpp"
+
+/// \file workloads.cpp
+/// The builtin scenario menu. Each entry is one register_scenario() call:
+/// IC generator, default session shape, forcing schedule, invariants,
+/// params. Adding a workload to the model means adding one block here
+/// (or calling register_scenario from anywhere else before first use).
+
+namespace scenario {
+
+namespace {
+
+// -- shared invariants -------------------------------------------------------
+
+/// Conservation diagnostics stay physical: positive dry mass, positive
+/// layer thickness, finite energy.
+Invariant physical_diagnostics() {
+  return {"physical-diagnostics", [](model::Session& s) {
+            const homme::Diagnostics d = s.diagnose();
+            std::optional<std::string> why;
+            if (!(d.dry_mass > 0.0)) {
+              why = "dry mass " + std::to_string(d.dry_mass) + " <= 0";
+            } else if (!(d.min_dp > 0.0)) {
+              why = "min dp " + std::to_string(d.min_dp) + " <= 0";
+            } else if (!std::isfinite(d.total_energy)) {
+              why = "total energy is not finite";
+            }
+            return why;
+          }};
+}
+
+/// Winds bounded (blowup guard).
+Invariant wind_bound(double limit_ms) {
+  return {"wind-bound", [limit_ms](model::Session& s) {
+            const homme::Diagnostics d = s.diagnose();
+            std::optional<std::string> why;
+            if (!(d.max_wind < limit_ms)) {
+              why = "max wind " + std::to_string(d.max_wind) +
+                    " m/s >= " + std::to_string(limit_ms);
+            }
+            return why;
+          }};
+}
+
+/// Temperatures inside a physically plausible band.
+Invariant temperature_band(double lo_k, double hi_k) {
+  return {"temperature-band", [lo_k, hi_k](model::Session& s) {
+            const homme::Diagnostics d = s.diagnose();
+            std::optional<std::string> why;
+            if (!(d.min_t > lo_k) || !(d.max_t < hi_k)) {
+              why = "T range [" + std::to_string(d.min_t) + ", " +
+                    std::to_string(d.max_t) + "] K outside [" +
+                    std::to_string(lo_k) + ", " + std::to_string(hi_k) + "]";
+            }
+            return why;
+          }};
+}
+
+/// The cyclone tracker finds a plausible center (storm scenarios).
+Invariant tracker_finds_center() {
+  return {"tracker-fix", [](model::Session& s) {
+            const homme::State state = s.state();
+            const tc::TcFix fix = tc::track(s.mesh(), s.dims(), state);
+            std::optional<std::string> why;
+            if (!std::isfinite(fix.min_ps) || fix.min_ps < 2.0e4 ||
+                fix.min_ps > 1.2e5) {
+              why = "central pressure " + std::to_string(fix.min_ps) +
+                    " Pa implausible";
+            } else if (!std::isfinite(fix.msw) || fix.msw < 0.0) {
+              why = "max sustained wind " + std::to_string(fix.msw) +
+                    " m/s implausible";
+            }
+            return why;
+          }};
+}
+
+// -- ICs beyond the experiment ones -----------------------------------------
+
+/// The storm-track ensemble IC: the Katrina vortex with per-member
+/// deterministic relative perturbations of the genesis position, peak
+/// wind and steering flow (member 0 is the unperturbed control).
+InitSpec storm_track_init_spec(tc::TcParams base, double perturb) {
+  InitSpec spec;
+  spec.name = "tc-vortex-perturbed";
+  spec.perturb = perturb;
+  spec.generate = [base](const mesh::CubedSphere& m, const homme::Dims& d,
+                         const InitSpec& self) {
+    tc::TcParams p = base;
+    if (self.member > 0 && self.perturb != 0.0) {
+      unsigned seed = 0x9e3779b9u * static_cast<unsigned>(self.member) + 77u;
+      auto next = [&seed] {
+        seed = seed * 1664525u + 1013904223u;
+        return static_cast<double>(seed % 2000) / 1000.0 - 1.0;
+      };
+      p.lat0 += self.perturb * next();
+      p.lon0 += self.perturb * next();
+      p.vmax *= 1.0 + self.perturb * next();
+      p.steering_u *= 1.0 + self.perturb * next();
+      p.steering_v *= 1.0 + self.perturb * next();
+    }
+    return tc::tc_initial_state(m, d, p);
+  };
+  return spec;
+}
+
+// -- registration ------------------------------------------------------------
+
+void add_katrina() {
+  const tc::TcParams vp{};
+  Scenario sc;
+  sc.name = "katrina";
+  sc.kind = "storm";
+  sc.title = "Synthetic Katrina-class cyclone lifecycle (Figure 9)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(12)
+                    .with_levels(8, 1)
+                    .with_init(katrina_init_spec(vp))
+                    .with_physics(true)
+                    .with_physics_config(katrina_physics_cfg(vp));
+  sc.params = {{"ne_coarse", 3.0},   {"hours", 12.0},
+               {"n_outputs", 6.0},   {"lat0", vp.lat0},
+               {"lon0", vp.lon0},    {"vmax", vp.vmax},
+               {"rm", vp.rm},        {"dp_center", vp.dp_center},
+               {"steering_u", vp.steering_u}, {"steering_v", vp.steering_v}};
+  sc.invariants = {physical_diagnostics(), tracker_finds_center()};
+  register_scenario(std::move(sc));
+}
+
+void add_storm_track_ensemble() {
+  const tc::TcParams vp{};
+  const double perturb = 0.02;
+  Scenario sc;
+  sc.name = "storm-track-ensemble";
+  sc.kind = "ensemble";
+  sc.title = "Perturbed-IC storm-track ensemble (member-seeded vortex)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(6)
+                    .with_levels(8, 1)
+                    .with_init(storm_track_init_spec(vp, perturb))
+                    .with_physics(true)
+                    .with_physics_config(katrina_physics_cfg(vp));
+  sc.params = {{"perturb", perturb}, {"vmax", vp.vmax}, {"rm", vp.rm}};
+  sc.invariants = {physical_diagnostics(), tracker_finds_center()};
+  register_scenario(std::move(sc));
+}
+
+void add_fig4_validation() {
+  Scenario sc;
+  sc.name = "fig4-validation";
+  sc.kind = "validation";
+  sc.title = "Climatology control-vs-test comparison (Figure 4)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(8, 1)
+                    .with_init(aquaplanet_init_spec(1e-9))
+                    .with_physics(true);
+  // steps/spinup are the Figure 4 bench window (the library default of
+  // ClimatologyConfig keeps the longer 120-step climatology).
+  sc.params = {{"perturb", 1e-9}, {"steps", 80.0}, {"spinup", 20.0}};
+  sc.invariants = {physical_diagnostics(), temperature_band(120.0, 400.0)};
+  register_scenario(std::move(sc));
+}
+
+void add_aquaplanet() {
+  Scenario sc;
+  sc.name = "aquaplanet";
+  sc.kind = "climate";
+  sc.title = "Moist aquaplanet, dynamics + full physics (climate_run)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(8, 1)
+                    .with_init(aquaplanet_init_spec())
+                    .with_physics(true);
+  sc.invariants = {physical_diagnostics(), temperature_band(120.0, 400.0),
+                   wind_bound(300.0)};
+  register_scenario(std::move(sc));
+}
+
+void add_nggps() {
+  Scenario sc;
+  sc.name = "nggps";
+  sc.kind = "analytic";
+  sc.title = "NGGPS dycore-comparison shape (Table 3, 16-level columns)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(16, 0)
+                    .with_init(InitSpec::baroclinic(/*with_tracers=*/false));
+  sc.params = {{"paper_homme_anchor_s", 2.712}};
+  sc.invariants = {physical_diagnostics()};
+  register_scenario(std::move(sc));
+}
+
+void add_baroclinic_wave() {
+  Scenario sc;
+  sc.name = "baroclinic-wave";
+  sc.kind = "regression";
+  sc.title = "Idealized baroclinic-wave regression (dry dynamics)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(8, 2)
+                    .with_init(InitSpec::baroclinic());
+  sc.invariants = {physical_diagnostics(), wind_bound(200.0),
+                   temperature_band(150.0, 350.0)};
+  register_scenario(std::move(sc));
+}
+
+void add_tracer_advection() {
+  Scenario sc;
+  sc.name = "tracer-advection";
+  sc.kind = "kernel";
+  sc.title = "Solid-body tracer advection (host-kernel workset IC)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(8, 2)
+                    .with_moist()
+                    .with_init(InitSpec::solid_body(/*with_tracers=*/true,
+                                                    /*u0=*/40.0));
+  sc.params = {{"u0", 40.0}};
+  sc.invariants = {physical_diagnostics()};
+  register_scenario(std::move(sc));
+}
+
+void add_held_suarez() {
+  Scenario sc;
+  sc.name = "held-suarez";
+  sc.kind = "climate";
+  sc.title = "Held-Suarez forced climate (relaxation forcing each step)";
+  sc.defaults = model::SessionConfig{}
+                    .with_ne(4)
+                    .with_levels(8, 0)
+                    .with_init(InitSpec::baroclinic(/*with_tracers=*/false));
+  ForcingEvent ev;
+  ev.start = 1;
+  ev.every = 1;
+  ev.name = "held-suarez-relaxation";
+  ev.apply = [](model::Session& s, int /*step*/) {
+    homme::State st = s.state();
+    phys::held_suarez_forcing(s.mesh(), s.dims(), st, s.dt());
+    s.set_state(st);
+  };
+  sc.forcing = {std::move(ev)};
+  sc.invariants = {physical_diagnostics(), temperature_band(150.0, 350.0)};
+  register_scenario(std::move(sc));
+}
+
+}  // namespace
+
+// Called exactly once (registry.cpp's call_once) before the first lookup.
+void register_builtin_workloads() {
+  add_katrina();
+  add_storm_track_ensemble();
+  add_fig4_validation();
+  add_aquaplanet();
+  add_nggps();
+  add_baroclinic_wave();
+  add_tracer_advection();
+  add_held_suarez();
+}
+
+}  // namespace scenario

@@ -16,32 +16,6 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// CRC32 digest of the member's final state — equal configs must produce
-/// equal digests regardless of worker count or submission order. Hashes
-/// the raw field arrays, NOT the serialized checkpoint image: that format
-/// follows every block with the block's own CRC-32, and by CRC linearity
-/// a whole-stream CRC over block||crc(block) pairs cancels the block
-/// contents entirely (every image of one shape hashes alike).
-std::uint32_t state_digest(const model::Session& session) {
-  const homme::State state = session.state();
-  std::vector<std::uint32_t> crcs;
-  crcs.reserve(state.size() * 6 + 2);
-  auto add = [&crcs](std::span<const double> v) {
-    crcs.push_back(homme::crc32(v.data(), v.size() * sizeof(double)));
-  };
-  for (const auto& e : state) {
-    add(e.u1.span());
-    add(e.u2.span());
-    add(e.T.span());
-    add(e.dp.span());
-    add(e.qdp.span());
-    add(e.phis.span());
-  }
-  crcs.push_back(static_cast<std::uint32_t>(state.size()));
-  crcs.push_back(static_cast<std::uint32_t>(session.step_count()));
-  return homme::crc32(crcs.data(), crcs.size() * sizeof(std::uint32_t));
-}
-
 }  // namespace
 
 std::string_view to_string(RunState s) {
@@ -141,11 +115,20 @@ std::shared_ptr<const model::MeshBundle> Engine::bundle(int ne, int nranks) {
 }
 
 RunTicket Engine::submit(RunRequest req) {
+  Job job;
+  if (!req.scenario.empty()) {
+    // Resolve the named workload before validation so an unknown name
+    // surfaces as scenario::NotFound at the submit site, not on a
+    // worker. The resolved pointer rides with the job for forcing and
+    // invariant checks during execution.
+    const scenario::Scenario& sc = scenario::get(req.scenario);
+    req.config = sc.config(req.overrides, req.member);
+    job.scenario_def = &sc;
+  }
   req.config.validate();
   if (req.steps < 0) {
     throw model::ConfigError("RunRequest: steps must be >= 0");
   }
-  Job job;
   job.handle = RunTicket(new RunHandle(
       next_id_.fetch_add(1, std::memory_order_relaxed)));
   job.bundle = bundle(req.config.ne, req.config.nranks);
@@ -318,6 +301,11 @@ void Engine::execute(Job& job, int worker) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++counters_.resumed;
     }
+    // Seeding forcing events (start 0) fire before the first step of a
+    // fresh member; a resumed member restarts mid-schedule.
+    if (job.scenario_def != nullptr && session.step_count() == 0) {
+      scenario::fire_forcing(*job.scenario_def, session, 0);
+    }
     // steps is the total target, so a resumed member runs only the
     // remainder; a fresh session starts at step_count 0 and this loop
     // degenerates to the plain fixed-budget form.
@@ -332,11 +320,23 @@ void Engine::execute(Job& job, int worker) {
         break;
       }
       session.step();
+      if (job.scenario_def != nullptr) {
+        scenario::fire_forcing(*job.scenario_def, session,
+                               session.step_count());
+      }
       session.maybe_checkpoint();
       ++res.steps_done;
       if (req.step_stall_s > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(req.step_stall_s));
+      }
+    }
+    // A completed scenario member must satisfy its scenario's declared
+    // invariants — a violation is a fault, same as a throw mid-run.
+    if (res.state == RunState::kCompleted && job.scenario_def != nullptr) {
+      if (auto why = scenario::check_invariants(*job.scenario_def, session)) {
+        res.state = RunState::kFaulted;
+        res.error = "invariant violation: " + *why;
       }
     }
     if (res.state != RunState::kCompleted && req.checkpoint_on_exit) {
@@ -346,7 +346,8 @@ void Engine::execute(Job& job, int worker) {
     store = session.store_stats();
     ckpt = session.checkpoint_stats();
     sampled = true;
-    res.state_crc = state_digest(session);
+    res.state_crc = model::state_digest(session.state(),
+                                        session.step_count());
     if (res.state == RunState::kCompleted) {
       res.diagnostics = session.diagnose();
     }
@@ -364,6 +365,8 @@ void Engine::execute(Job& job, int worker) {
       .set("qsize", req.config.qsize)
       .set("nranks", req.config.nranks)
       .set("backend", backend_name(req.config.backend))
+      .set("scenario", req.scenario)
+      .set("member", req.member)
       .set("steps", req.steps)
       .set("priority", req.priority);
   res.report.root()

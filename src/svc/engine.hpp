@@ -17,6 +17,7 @@
 
 #include "model/session.hpp"
 #include "obs/report.hpp"
+#include "scenario/registry.hpp"
 #include "svc/queue.hpp"
 #include "sw/config.hpp"
 
@@ -55,9 +56,20 @@ inline bool is_terminal(RunState s) {
   return s != RunState::kQueued && s != RunState::kRunning;
 }
 
-/// One ensemble member: a session config plus how to run it.
+/// One ensemble member: a session config plus how to run it. Instead of
+/// a hand-built config, a member can name a registered scenario — the
+/// engine then resolves `config` from the registry (defaults + overrides
+/// + member binding), drives the scenario's forcing schedule during the
+/// run, and checks its invariants on completion. Different members of
+/// one engine can name different scenarios (mixed-scenario ensembles).
 struct RunRequest {
   model::SessionConfig config;
+  /// Registered scenario name; empty = use `config` as given. When set,
+  /// `config` is overwritten at submit with
+  /// scenario::get(scenario).config(overrides, member).
+  std::string scenario;
+  scenario::Overrides overrides;
+  int member = 0;  ///< ensemble member bound into the scenario's InitSpec
   int steps = 1;
   int priority = 0;        ///< higher runs first; FIFO within a priority
   double deadline_s = 0.0; ///< wall budget from submit; 0 = none
@@ -266,6 +278,10 @@ class Engine {
   struct Job {
     RunTicket handle;
     RunRequest request;
+    /// Registry entry backing request.scenario (registry entries are
+    /// never erased, so the pointer stays valid); nullptr for plain
+    /// config-only requests.
+    const scenario::Scenario* scenario_def = nullptr;
     std::shared_ptr<const model::MeshBundle> bundle;
     std::chrono::steady_clock::time_point submitted;
   };

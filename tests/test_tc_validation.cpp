@@ -2,10 +2,9 @@
 
 #include <cmath>
 
-#include "tc/katrina.hpp"
+#include "scenario/experiments.hpp"
 #include "tc/tracker.hpp"
 #include "tc/vortex.hpp"
-#include "validation/climatology.hpp"
 
 namespace {
 
@@ -60,13 +59,13 @@ TEST(Katrina, FineResolutionTracksCoarseLosesTheStorm) {
   // The Figure 9 contrast, downsized: same vortex, same physics, 4x
   // resolution ratio. The fine run must beat the coarse run decisively
   // on both track and intensity.
-  tc::KatrinaConfig cfg;
+  scenario::KatrinaConfig cfg;
   cfg.ne_coarse = 3;
   cfg.ne_fine = 8;
   cfg.nlev = 8;
   cfg.hours = 6.0;
   cfg.n_outputs = 4;
-  auto result = tc::run_katrina(cfg);
+  auto result = scenario::run_katrina(cfg);
   EXPECT_LT(result.fine.mean_track_error_km,
             0.5 * result.coarse.mean_track_error_km);
   EXPECT_GT(result.fine.intensity_retention,
@@ -80,12 +79,12 @@ TEST(Climatology, ControlAndTestRunsAreStatisticallyIdentical) {
   // Figure 4: the Sunway (test) climatology must be indistinguishable
   // from the Intel (control) one. Perturbation = measured cross-platform
   // reassociation drift.
-  validation::ClimatologyConfig cfg;
+  scenario::ClimatologyConfig cfg;
   cfg.ne = 3;
   cfg.nlev = 6;
   cfg.steps = 40;
   cfg.spinup = 10;
-  auto stats = validation::climatology_compare(cfg);
+  auto stats = scenario::climatology_compare(cfg);
   EXPECT_NEAR(stats.mean_test, stats.mean_control,
               0.02 * std::abs(stats.mean_control));
   EXPECT_GT(stats.pattern_correlation, 0.98);
@@ -98,16 +97,16 @@ TEST(Climatology, ControlAndTestRunsAreStatisticallyIdentical) {
 TEST(Climatology, LargePerturbationWouldBeDetected) {
   // Sanity of the metric: a grossly wrong port (1% errors) must NOT pass
   // the Figure 4 comparison.
-  validation::ClimatologyConfig cfg;
+  scenario::ClimatologyConfig cfg;
   cfg.ne = 2;
   cfg.nlev = 4;
   cfg.steps = 25;
   cfg.spinup = 5;
   cfg.perturbation = 1e-2;
-  auto stats = validation::climatology_compare(cfg);
-  validation::ClimatologyConfig tiny = cfg;
+  auto stats = scenario::climatology_compare(cfg);
+  scenario::ClimatologyConfig tiny = cfg;
   tiny.perturbation = 1e-9;
-  auto ref = validation::climatology_compare(tiny);
+  auto ref = scenario::climatology_compare(tiny);
   EXPECT_GT(stats.rmse, 5.0 * ref.rmse);
 }
 

@@ -135,6 +135,15 @@ REQUIRED_ROOT_FIELDS = {
         "speedup_max_cgs",
         "contention_slowdown_max",
     ),
+    "fig9_katrina": (
+        "fine_track_error_km",
+        "coarse_track_error_km",
+        "fine_deepest_ps",
+        "coarse_deepest_ps",
+        "fine_intensity_retention",
+        "fine_state_crc",
+        "coarse_state_crc",
+    ),
 }
 
 # Schema of one entry in a report's "snapshots" array — the periodic
